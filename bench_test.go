@@ -1,0 +1,363 @@
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the §II-A2 performance premises and the ablations called out in
+// DESIGN.md §4.
+//
+// The benchmarks run scaled-down versions of each experiment (so the
+// suite finishes in minutes on one core) and report the headline
+// quantities as custom metrics; cmd/repro regenerates the full-scale
+// rows, and EXPERIMENTS.md records paper-vs-measured values.
+package waitornot_test
+
+import (
+	"testing"
+	"time"
+
+	"waitornot"
+	"waitornot/internal/chain"
+	"waitornot/internal/fl"
+	"waitornot/internal/keys"
+	"waitornot/internal/nn"
+	"waitornot/internal/tensor"
+	"waitornot/internal/xrand"
+)
+
+// benchOpts is the scaled experiment every heavy benchmark uses.
+func benchOpts(m waitornot.Model) waitornot.Options {
+	return waitornot.Options{
+		Model:           m,
+		Clients:         3,
+		Rounds:          3,
+		Seed:            1,
+		TrainPerClient:  200,
+		SelectionSize:   80,
+		TestPerClient:   100,
+		PretrainSamples: 600, // keep the EffNet warm start cheap in benches
+		PretrainEpochs:  2,
+		LearningRate:    0.01, // hotter than full-scale calibration so the
+		// tiny bench shards produce separable accuracies
+	}
+}
+
+// BenchmarkTableI_Figure3_VanillaSimpleNN regenerates the Table I /
+// Figure 3 data (SimpleNN): both aggregation arms of Vanilla FL.
+func BenchmarkTableI_Figure3_VanillaSimpleNN(b *testing.B) {
+	benchVanilla(b, waitornot.SimpleNN)
+}
+
+// BenchmarkTableI_Figure3_VanillaEffNet regenerates the Table I /
+// Figure 3 data for the complex model.
+func BenchmarkTableI_Figure3_VanillaEffNet(b *testing.B) {
+	benchVanilla(b, waitornot.EffNetB0Sim)
+}
+
+func benchVanilla(b *testing.B, m waitornot.Model) {
+	for i := 0; i < b.N; i++ {
+		rep, err := waitornot.RunVanilla(benchOpts(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(rep.Consider[0]) - 1
+		b.ReportMetric(rep.Consider[0][last], "final-acc-consider")
+		b.ReportMetric(rep.NotConsider[0][last], "final-acc-not-consider")
+		if i == 0 {
+			b.Logf("\n%s", rep.TableI(m.String()))
+		}
+	}
+}
+
+// BenchmarkTableII_ChainFLClientA regenerates client A's combination
+// table (Table II) on the real chain.
+func BenchmarkTableII_ChainFLClientA(b *testing.B) { benchChainTable(b, 0) }
+
+// BenchmarkTableIII_ChainFLClientB regenerates Table III.
+func BenchmarkTableIII_ChainFLClientB(b *testing.B) { benchChainTable(b, 1) }
+
+// BenchmarkTableIV_ChainFLClientC regenerates Table IV.
+func BenchmarkTableIV_ChainFLClientC(b *testing.B) { benchChainTable(b, 2) }
+
+func benchChainTable(b *testing.B, peer int) {
+	for i := 0; i < b.N; i++ {
+		rep, err := waitornot.RunDecentralized(benchOpts(waitornot.SimpleNN))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds := rep.ComboAccuracy[peer]
+		lastRow := rounds[len(rounds)-1]
+		// Row order: solo, pairs..., all. Report solo vs all.
+		b.ReportMetric(lastRow[0], "final-acc-solo")
+		b.ReportMetric(lastRow[len(lastRow)-1], "final-acc-all")
+		if i == 0 {
+			b.Logf("\n%s", rep.PeerTable(peer, "SimpleNN"))
+		}
+	}
+}
+
+// BenchmarkFigure4_ChainFLSeries regenerates the Figure 4 series for
+// the complex model, where combination choice matters most.
+func BenchmarkFigure4_ChainFLSeries(b *testing.B) {
+	opts := benchOpts(waitornot.EffNetB0Sim)
+	opts.Rounds = 2
+	for i := 0; i < b.N; i++ {
+		rep, err := waitornot.RunDecentralized(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := rep.ComboAccuracy[0][len(rep.ComboAccuracy[0])-1]
+		b.ReportMetric(row[len(row)-1]-row[0], "acc-gap-all-vs-solo")
+		if i == 0 {
+			b.Logf("\n%s", rep.Figure4("EffNetB0Sim"))
+		}
+	}
+}
+
+// BenchmarkWaitPolicy_SpeedVsPrecision regenerates the headline
+// trade-off: final accuracy and mean wait per wait policy, with a 3x
+// straggler.
+func BenchmarkWaitPolicy_SpeedVsPrecision(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.StragglerFactor = []float64{1, 1, 3}
+	for i := 0; i < b.N; i++ {
+		rep, err := waitornot.RunTradeoff(opts, waitornot.DefaultPolicies(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sync := rep.Outcomes[0]
+		async := rep.Outcomes[len(rep.Outcomes)-1]
+		b.ReportMetric(sync.MeanWaitMs/async.MeanWaitMs, "speedup-first1-vs-waitall")
+		b.ReportMetric(sync.FinalAccuracy-async.FinalAccuracy, "acc-cost-first1")
+		if i == 0 {
+			b.Logf("\n%s", rep.Table())
+		}
+	}
+}
+
+// BenchmarkThroughputVsParticipants regenerates the §II-A2 premise:
+// throughput roughly halves when co-located peers double.
+func BenchmarkThroughputVsParticipants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := waitornot.ThroughputVsPeers([]int{4, 8, 16, 32}, 1)
+		b.ReportMetric(pts[0].CommittedPerSec/pts[1].CommittedPerSec, "halving-ratio-4to8")
+		b.ReportMetric(pts[len(pts)-1].CommittedPerSec, "tx-per-sec-32peers")
+		if i == 0 {
+			for _, p := range pts {
+				b.Logf("%-10s %8.1f tx/s  latency %9.1f ms", p.Label, p.CommittedPerSec, p.MeanLatencyMs)
+			}
+		}
+	}
+}
+
+// BenchmarkBlockGasLimitVsThroughput regenerates the block-capacity
+// premise (refs [11,12]): throughput vs block gas limit for
+// model-sized transactions.
+func BenchmarkBlockGasLimitVsThroughput(b *testing.B) {
+	txGas := uint64(4_000_000) // ~a SimpleNN submission
+	limits := []uint64{4_000_000, 16_000_000, 64_000_000, 256_000_000}
+	for i := 0; i < b.N; i++ {
+		pts := waitornot.ThroughputVsBlockGas(limits, txGas, 1)
+		b.ReportMetric(pts[len(pts)-1].CommittedPerSec/pts[0].CommittedPerSec, "capacity-gain")
+		if i == 0 {
+			for _, p := range pts {
+				b.Logf("%-16s %8.1f tx/s  latency %9.1f ms", p.Label, p.CommittedPerSec, p.MeanLatencyMs)
+			}
+		}
+	}
+}
+
+// BenchmarkAsyncRoundLatencySim regenerates the virtual-clock round
+// latency comparison (sync vs async aggregation, age-of-block) at 8
+// peers with a 3x straggler.
+func BenchmarkAsyncRoundLatencySim(b *testing.B) {
+	policies := []waitornot.Policy{
+		{Kind: waitornot.WaitAll},
+		{Kind: waitornot.FirstK, K: 4},
+		{Kind: waitornot.Timeout, TimeoutMs: 6000},
+	}
+	for i := 0; i < b.N; i++ {
+		stats := waitornot.RoundLatencyByPolicy(8, policies, 1)
+		b.ReportMetric(stats[0].MeanWaitMs/stats[1].MeanWaitMs, "speedup-first4")
+		if i == 0 {
+			for _, st := range stats {
+				b.Logf("%-16s wait %8.1f ms  models %5.2f  age %8.1f ms",
+					st.Policy, st.MeanWaitMs, st.MeanIncluded, st.MeanAgeMs)
+			}
+		}
+	}
+}
+
+// BenchmarkGasPerModelSize measures the paper's gas-conversion premise
+// directly: intrinsic transaction gas for each model's weight payload.
+func BenchmarkGasPerModelSize(b *testing.B) {
+	gs := chain.DefaultGasSchedule()
+	rng := xrand.New(1)
+	simple := nn.EncodeWeights(nn.NewSimpleNN(rng).WeightVector())
+	eff := nn.EncodeWeights(nn.NewEffNetSim(rng).WeightVector())
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = gs.Intrinsic(simple) + gs.Intrinsic(eff)
+	}
+	_ = sink
+	b.ReportMetric(float64(gs.Intrinsic(simple)), "gas-simplenn")
+	b.ReportMetric(float64(gs.Intrinsic(eff)), "gas-effnetsim")
+	b.ReportMetric(float64(len(simple)), "bytes-simplenn")
+	b.ReportMetric(float64(len(eff)), "bytes-effnetsim")
+}
+
+// BenchmarkDualTaskInterference measures the paper's §V observation:
+// proof-of-work hash throughput collapses when the same core also
+// trains a model.
+func BenchmarkDualTaskInterference(b *testing.B) {
+	mineOnce := func() time.Duration {
+		start := time.Now()
+		h := chain.Header{Difficulty: 1 << 18}
+		chain.Mine(&h, uint64(start.UnixNano()), nil)
+		return time.Since(start)
+	}
+	var idleTotal, busyTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		idleTotal += mineOnce()
+
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rng := xrand.New(uint64(i))
+			m := nn.NewSimpleNN(rng)
+			opt := nn.NewSGD(0.01, 0.9, 0)
+			x := tensor.New(64, nn.ImageLen)
+			x.Randomize(rng, 1)
+			y := make([]int, 64)
+			for j := range y {
+				y[j] = rng.Intn(nn.NumClass)
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					nn.TrainEpoch(m, opt, x, y, 32, rng)
+				}
+			}
+		}()
+		busyTotal += mineOnce()
+		close(stop)
+		<-done
+	}
+	if idleTotal > 0 {
+		b.ReportMetric(float64(busyTotal)/float64(idleTotal), "slowdown-x")
+	}
+}
+
+// BenchmarkAblationSelectionSetSize ablates the "consider" scorer's
+// selection-set size (DESIGN.md §4): bigger sets pick better combos but
+// cost linearly more evaluation time.
+func BenchmarkAblationSelectionSetSize(b *testing.B) {
+	for _, size := range []int{40, 120, 300} {
+		b.Run("sel-"+itoa(size), func(b *testing.B) {
+			opts := benchOpts(waitornot.SimpleNN)
+			opts.SelectionSize = size
+			for i := 0; i < b.N; i++ {
+				rep, err := waitornot.RunDecentralized(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := rep.Rounds[0][len(rep.Rounds[0])-1]
+				b.ReportMetric(last.ChosenAccuracy, "final-acc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilterThreshold ablates the abnormal-model filter
+// margin against a fully poisoned peer.
+func BenchmarkAblationFilterThreshold(b *testing.B) {
+	for _, margin := range []float64{0, 0.05, 0.15} {
+		b.Run("margin-"+ftoa(margin), func(b *testing.B) {
+			opts := benchOpts(waitornot.SimpleNN)
+			opts.PoisonClient = 2
+			opts.PoisonFraction = 1
+			opts.FilterMaxBelowBest = margin
+			for i := 0; i < b.N; i++ {
+				rep, err := waitornot.RunDecentralized(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := rep.Rounds[0][len(rep.Rounds[0])-1]
+				b.ReportMetric(last.ChosenAccuracy, "final-acc-healthy-peer")
+				b.ReportMetric(float64(len(last.Rejected)), "rejected")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPoWDifficulty measures sealing time across the
+// difficulty ladder — the block-interval vs responsiveness trade-off
+// behind the age-of-block discussion.
+func BenchmarkAblationPoWDifficulty(b *testing.B) {
+	for _, bits := range []uint{12, 16, 20} {
+		b.Run("2e"+itoa(int(bits)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := chain.Header{Difficulty: 1 << bits, Nonce: 0, Number: uint64(i)}
+				if !chain.Mine(&h, uint64(i)<<32, nil) {
+					b.Fatal("mining failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFedAvgSimpleNN measures the aggregation step itself at the
+// paper's model size.
+func BenchmarkFedAvgSimpleNN(b *testing.B) {
+	rng := xrand.New(1)
+	ups := make([]*fl.Update, 3)
+	for i := range ups {
+		w := make([]float32, 61670)
+		for j := range w {
+			w[j] = rng.NormFloat32()
+		}
+		ups[i] = &fl.Update{Client: fl.ClientName(i), Round: 1, Weights: w, NumSamples: 3000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fl.FedAvg(ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelSubmissionTx measures the full submit-transaction path
+// at SimpleNN size: encode weights, sign, verify.
+func BenchmarkModelSubmissionTx(b *testing.B) {
+	rng := xrand.New(1)
+	w := nn.NewSimpleNN(rng).WeightVector()
+	k := keys.GenerateDeterministic(1)
+	to := keys.GenerateDeterministic(2).Address()
+	gs := chain.DefaultGasSchedule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := nn.EncodeWeights(w)
+		tx, err := chain.NewTx(k, uint64(i), to, 0, blob, gs, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.VerifySignature(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func ftoa(v float64) string {
+	return itoa(int(v*100+0.5)) + "pct"
+}

@@ -1,0 +1,132 @@
+// Command flnode boots a live fully coupled network in one process:
+// N peers race proof-of-work over gossip while each periodically trains
+// a small model and submits it through the aggregation contract —
+// the paper's deployment, compressed onto one host.
+//
+//	flnode -peers 3 -duration 20s -difficulty 18
+//
+// It prints a per-peer progress line each second and a final summary
+// (heights, forks seen, models on chain, convergence check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"waitornot/internal/bfl"
+	"waitornot/internal/chain"
+	"waitornot/internal/contract"
+	"waitornot/internal/dataset"
+	"waitornot/internal/fl"
+	"waitornot/internal/keys"
+	"waitornot/internal/nn"
+	"waitornot/internal/p2p"
+	"waitornot/internal/xrand"
+)
+
+func main() {
+	var (
+		peers      = flag.Int("peers", 3, "number of fully coupled peers")
+		duration   = flag.Duration("duration", 20*time.Second, "how long to run")
+		difficulty = flag.Int("difficulty", 18, "log2 genesis difficulty")
+		interval   = flag.Duration("submit", 4*time.Second, "model submission period per peer")
+		seed       = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	cfg := chain.DefaultConfig()
+	cfg.GenesisDifficulty = 1 << uint(*difficulty)
+	cfg.MinDifficulty = cfg.GenesisDifficulty / 16
+	cfg.TargetIntervalMs = 500
+
+	vm := contract.NewVM(cfg.Gas)
+	net := p2p.NewNetwork(p2p.Config{Seed: *seed, BaseLatency: 2 * time.Millisecond, Jitter: 3 * time.Millisecond})
+	defer net.Close()
+
+	root := xrand.New(*seed)
+	data := dataset.DefaultConfig()
+	alloc := map[keys.Address]uint64{}
+	ks := make([]*keys.Key, *peers)
+	for i := range ks {
+		ks[i] = keys.GenerateDeterministic(*seed*31 + uint64(i))
+		alloc[ks[i].Address()] = 1 << 62
+	}
+	nodes := make([]*bfl.LivePeer, *peers)
+	for i := 0; i < *peers; i++ {
+		name := fl.ClientName(i)
+		p, err := bfl.NewLivePeer(name, ks[i], cfg, alloc, vm, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = p
+		p.Start(true)
+	}
+	defer func() {
+		for _, p := range nodes {
+			p.Stop()
+		}
+	}()
+
+	// Each peer trains + submits on its own ticker (goroutine per peer,
+	// exactly the paper's dual-task arrangement).
+	stopTrain := make(chan struct{})
+	for i, p := range nodes {
+		go func(i int, p *bfl.LivePeer) {
+			rng := root.Derive("train-" + p.Name)
+			shard := dataset.Generate(data, 200, rng.Derive("data"))
+			model := nn.NewSimpleNN(rng.Derive("init"))
+			opt := nn.NewSGD(0.003, 0.9, 1e-3)
+			round := uint64(1)
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopTrain:
+					return
+				case <-ticker.C:
+					nn.TrainEpoch(model, opt, shard.X, shard.Y, 32, rng.Derive(fmt.Sprint("e", round)))
+					blob := nn.EncodeWeights(model.WeightVector())
+					payload := contract.SubmitCallData(round, uint64(nn.ModelSimpleNN), uint64(shard.Len()), blob)
+					tx, err := chain.NewTx(p.Key, p.NextNonce(), contract.AggregationAddress, 0, payload, cfg.Gas, 10_000_000, 1)
+					if err == nil {
+						_ = p.SubmitTx(tx)
+					}
+					round++
+				}
+			}
+		}(i, p)
+	}
+
+	deadline := time.Now().Add(*duration)
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Second)
+		line := ""
+		for _, p := range nodes {
+			h := p.Chain.Head()
+			line += fmt.Sprintf("  %s h=%d d=%d", p.Name, h.Header.Number, h.Header.Difficulty)
+		}
+		fmt.Println(time.Now().Format("15:04:05") + line)
+	}
+	close(stopTrain)
+
+	fmt.Println("\nfinal state:")
+	heads := map[chain.Hash]int{}
+	for _, p := range nodes {
+		head := p.Chain.Head()
+		heads[head.Hash()]++
+		subs := 0
+		st := p.Chain.StateCopy()
+		for r := uint64(1); r < 100; r++ {
+			subs += len(contract.SubmissionsAt(st, r))
+		}
+		fmt.Printf("  %s: height %d, head %s, sealed %d blocks, sees %d model submissions\n",
+			p.Name, head.Header.Number, head.Hash().Short(), p.BlocksMined, subs)
+	}
+	if len(heads) == 1 {
+		fmt.Println("network converged on a single canonical head")
+	} else {
+		fmt.Printf("network has %d competing heads (expected occasionally at stop time)\n", len(heads))
+	}
+}

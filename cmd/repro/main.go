@@ -1,0 +1,164 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation at full scale:
+//
+//	repro -exp table1            Table I + Figure 3 (Vanilla FL)
+//	repro -exp tables234         Tables II-IV + Figure 4 (blockchain FL)
+//	repro -exp tradeoff          the wait-or-not speed/precision study
+//	repro -exp netperf           §II-A2 throughput premises
+//	repro -exp all               everything
+//
+// Model selection: -model simple|effnet|both. Add -fast for a reduced
+// (smoke-test) scale, and -csv to emit machine-readable grids as well.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"waitornot"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|tables234|tradeoff|netperf|all")
+		model  = flag.String("model", "both", "model: simple|effnet|both")
+		rounds = flag.Int("rounds", 10, "communication rounds")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		fast   = flag.Bool("fast", false, "reduced scale for smoke testing")
+		csv    = flag.Bool("csv", false, "also print CSV grids")
+	)
+	flag.Parse()
+
+	models := map[string][]waitornot.Model{
+		"simple": {waitornot.SimpleNN},
+		"effnet": {waitornot.EffNetB0Sim},
+		"both":   {waitornot.SimpleNN, waitornot.EffNetB0Sim},
+	}[*model]
+	if models == nil {
+		fmt.Fprintf(os.Stderr, "unknown -model %q\n", *model)
+		os.Exit(2)
+	}
+
+	opts := waitornot.Options{
+		Clients: 3,
+		Rounds:  *rounds,
+		Seed:    *seed,
+	}
+	if *fast {
+		opts.TrainPerClient = 200
+		opts.SelectionSize = 80
+		opts.TestPerClient = 100
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Printf("==> %s\n", name)
+		fn()
+		fmt.Printf("<== %s (%v)\n\n", name, time.Since(start).Round(time.Second))
+	}
+
+	doTable1 := func() {
+		for _, m := range models {
+			o := opts
+			o.Model = m
+			rep, err := waitornot.RunVanilla(o)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(rep.TableI(m.String()))
+			fmt.Printf("consider-arm adopted combos per round: %v\n\n", rep.ConsiderCombos)
+			fmt.Println(rep.Figure3(m.String()))
+			if *csv {
+				fmt.Println(rep.CSV())
+			}
+		}
+	}
+
+	doTables234 := func() {
+		for _, m := range models {
+			o := opts
+			o.Model = m
+			rep, err := waitornot.RunDecentralized(o)
+			if err != nil {
+				fatal(err)
+			}
+			for p := range rep.PeerNames {
+				fmt.Println(rep.PeerTable(p, m.String()))
+				fmt.Println()
+			}
+			fmt.Println(rep.Figure4(m.String()))
+			fmt.Printf("on-chain footprint: %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n\n",
+				rep.Chain.Blocks, rep.Chain.Txs, rep.Chain.Submissions, rep.Chain.Decisions,
+				float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)
+		}
+	}
+
+	doTradeoff := func() {
+		for _, m := range models {
+			o := opts
+			o.Model = m
+			// A 3x straggler makes the waiting question non-trivial, as
+			// in any real deployment with heterogeneous peers.
+			o.StragglerFactor = []float64{1, 1, 3}
+			rep, err := waitornot.RunTradeoff(o, waitornot.DefaultPolicies(3))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(rep.Table())
+			fmt.Println()
+		}
+		fmt.Println("virtual-clock round latency (8 peers, 3x straggler, 1000 rounds):")
+		policies := []waitornot.Policy{
+			{Kind: waitornot.WaitAll},
+			{Kind: waitornot.FirstK, K: 6},
+			{Kind: waitornot.FirstK, K: 4},
+			{Kind: waitornot.Timeout, TimeoutMs: 6000},
+		}
+		for _, st := range waitornot.RoundLatencyByPolicy(8, policies, *seed) {
+			fmt.Printf("  %-16s mean wait %8.1f ms   mean models %5.2f   mean age %8.1f ms\n",
+				st.Policy, st.MeanWaitMs, st.MeanIncluded, st.MeanAgeMs)
+		}
+	}
+
+	doNetperf := func() {
+		fmt.Println("throughput vs co-located peers (shared-host model, §II-A2 / VFChain premise):")
+		for _, pt := range waitornot.ThroughputVsPeers([]int{4, 8, 16, 32, 64}, *seed) {
+			fmt.Printf("  %-10s %8.1f tx/s   mean commit latency %9.1f ms\n",
+				pt.Label, pt.CommittedPerSec, pt.MeanLatencyMs)
+		}
+		fmt.Println("\nthroughput vs block gas limit (model-sized txs, refs [11,12]):")
+		// A SimpleNN submission is ~247 KB ≈ 4M calldata gas.
+		txGas := uint64(4_000_000)
+		limits := []uint64{4_000_000, 8_000_000, 16_000_000, 64_000_000, 256_000_000}
+		for _, pt := range waitornot.ThroughputVsBlockGas(limits, txGas, *seed) {
+			fmt.Printf("  %-16s %8.1f tx/s   mean commit latency %9.1f ms\n",
+				pt.Label, pt.CommittedPerSec, pt.MeanLatencyMs)
+		}
+	}
+
+	switch *exp {
+	case "table1", "fig3":
+		run("Table I / Figure 3 — Vanilla FL", doTable1)
+	case "tables234", "table2", "table3", "table4", "fig4":
+		run("Tables II-IV / Figure 4 — Blockchain-based FL", doTables234)
+	case "tradeoff":
+		run("Wait-or-not trade-off", doTradeoff)
+	case "netperf":
+		run("Network performance premises", doNetperf)
+	case "all":
+		run("Table I / Figure 3 — Vanilla FL", doTable1)
+		run("Tables II-IV / Figure 4 — Blockchain-based FL", doTables234)
+		run("Wait-or-not trade-off", doTradeoff)
+		run("Network performance premises", doNetperf)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

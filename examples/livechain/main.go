@@ -1,0 +1,147 @@
+// Livechain: the free-running stack, as deployed in the paper — three
+// peers race proof-of-work on one host while exchanging transactions
+// over gossip, forks and all. One peer registers itself and submits a
+// model; we watch the network converge and then report each peer's view
+// plus the dual-task observation from the paper's conclusion (mining
+// and training compete for the same cores).
+//
+// This example reaches below the public facade into the engine
+// packages, which is what a systems integrator embedding single
+// components (chain, contracts, gossip) would do.
+//
+//	go run ./examples/livechain
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"waitornot/internal/bfl"
+	"waitornot/internal/chain"
+	"waitornot/internal/contract"
+	"waitornot/internal/keys"
+	"waitornot/internal/nn"
+	"waitornot/internal/p2p"
+	"waitornot/internal/tensor"
+	"waitornot/internal/xrand"
+)
+
+func main() {
+	cfg := chain.DefaultConfig()
+	cfg.GenesisDifficulty = 1 << 18 // ~100ms+ blocks on one core
+	cfg.MinDifficulty = 1 << 14
+	cfg.TargetIntervalMs = 250
+
+	vm := contract.NewVM(cfg.Gas)
+	net := p2p.NewNetwork(p2p.Config{
+		Seed:        1,
+		BaseLatency: 5 * time.Millisecond,
+		Jitter:      5 * time.Millisecond,
+	})
+	defer net.Close()
+
+	names := []string{"A", "B", "C"}
+	ks := make([]*keys.Key, len(names))
+	alloc := map[keys.Address]uint64{}
+	for i := range ks {
+		ks[i] = keys.GenerateDeterministic(uint64(900 + i))
+		alloc[ks[i].Address()] = 1 << 62
+	}
+	peers := make([]*bfl.LivePeer, len(names))
+	for i, name := range names {
+		p, err := bfl.NewLivePeer(name, ks[i], cfg, alloc, vm, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[i] = p
+		p.Start(true)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Stop()
+		}
+	}()
+
+	// Peer A registers and submits a (random) SimpleNN model.
+	regTx, err := chain.NewTx(ks[0], peers[0].NextNonce(), contract.RegistryAddress, 0,
+		contract.RegisterCallData("A"), cfg.Gas, 1_000_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := peers[0].SubmitTx(regTx); err != nil {
+		log.Fatal(err)
+	}
+	weights := nn.NewSimpleNN(xrand.New(1)).WeightVector()
+	blob := nn.EncodeWeights(weights)
+	subTx, err := chain.NewTx(ks[0], peers[0].NextNonce(), contract.AggregationAddress, 0,
+		contract.SubmitCallData(1, uint64(nn.ModelSimpleNN), 600, blob), cfg.Gas, 10_000_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := peers[0].SubmitTx(subTx); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("mining... waiting for every peer to see A's registration and model")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, p := range peers {
+			st := p.Chain.StateCopy()
+			if contract.NameOf(st, ks[0].Address()) != "A" || len(contract.SubmissionsAt(st, 1)) == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for _, p := range peers {
+		head := p.Chain.Head()
+		st := p.Chain.StateCopy()
+		subs := contract.SubmissionsAt(st, 1)
+		fmt.Printf("peer %s: height %d, head %s, difficulty %d, sealed %d blocks, sees %d submission(s)\n",
+			p.Name, head.Header.Number, head.Hash().Short(), head.Header.Difficulty, p.BlocksMined, len(subs))
+	}
+
+	// The paper's dual-task observation: hash throughput collapses when
+	// the same core also trains.
+	fmt.Println("\ndual-task interference (mining a fixed workload, idle vs while training):")
+	hashWork := func() time.Duration {
+		start := time.Now()
+		h := chain.Header{Difficulty: 1 << 20}
+		chain.Mine(&h, uint64(time.Now().UnixNano()), nil)
+		return time.Since(start)
+	}
+	idle := hashWork()
+	trainDone := make(chan struct{})
+	go func() {
+		defer close(trainDone)
+		m := nn.NewSimpleNN(xrand.New(2))
+		opt := nn.NewSGD(0.01, 0.9, 0)
+		x, y := randomBatch(512)
+		for i := 0; i < 40; i++ {
+			nn.TrainEpoch(m, opt, x, y, 32, xrand.New(uint64(i)))
+		}
+	}()
+	busy := hashWork()
+	<-trainDone
+	fmt.Printf("  idle:           %v\n  while training: %v (%.1fx slower)\n",
+		idle.Round(time.Millisecond), busy.Round(time.Millisecond), float64(busy)/float64(idle))
+}
+
+// randomBatch synthesizes a labeled batch for the interference demo.
+func randomBatch(n int) (*tensor.Dense, []int) {
+	rng := xrand.New(99)
+	x := tensor.New(n, nn.ImageLen)
+	x.Randomize(rng, 1)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(nn.NumClass)
+	}
+	return x, y
+}

@@ -1,0 +1,246 @@
+package bfl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"waitornot/internal/chain"
+	"waitornot/internal/keys"
+	"waitornot/internal/p2p"
+)
+
+// LivePeer is the free-running fully coupled node: it pumps gossip,
+// validates and stores blocks, maintains a mempool, and (optionally)
+// mines continuously, racing other peers for leadership exactly as the
+// paper's Geth nodes did. Experiments that need determinism use
+// RunDecentralized instead; LivePeer is for the examples, integration
+// tests, and the mining/training interference measurements.
+type LivePeer struct {
+	Name  string
+	Key   *keys.Key
+	Chain *chain.Chain
+	Pool  *chain.Mempool
+
+	node *p2p.Node
+
+	mu      sync.Mutex
+	orphans map[chain.Hash][]*chain.Block // parent hash -> waiting blocks
+	nonce   uint64
+
+	mining    bool
+	restart   chan struct{} // closed + swapped when the head changes
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+
+	// BlocksMined counts blocks this peer sealed (read after Stop).
+	BlocksMined int
+}
+
+// NewLivePeer joins the network and builds a peer with its own chain
+// instance. All peers of one experiment must share cfg, alloc, and vm so
+// their genesis blocks agree.
+func NewLivePeer(name string, key *keys.Key, cfg chain.Config, alloc map[keys.Address]uint64, vm chain.Processor, net *p2p.Network) (*LivePeer, error) {
+	node, err := net.Join(name)
+	if err != nil {
+		return nil, fmt.Errorf("bfl: joining network: %w", err)
+	}
+	return &LivePeer{
+		Name:    name,
+		Key:     key,
+		Chain:   chain.New(cfg, alloc, vm),
+		Pool:    chain.NewMempool(cfg.Gas),
+		node:    node,
+		orphans: make(map[chain.Hash][]*chain.Block),
+		restart: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the gossip pump and, if mine is true, the mining loop.
+func (p *LivePeer) Start(mine bool) {
+	p.startOnce.Do(func() {
+		p.mining = mine
+		p.wg.Add(1)
+		go p.pump()
+		if mine {
+			p.wg.Add(1)
+			go p.mineLoop()
+		}
+	})
+}
+
+// Stop terminates the peer's goroutines and waits for them.
+func (p *LivePeer) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}
+
+// NextNonce returns the peer's next account nonce (local bookkeeping).
+func (p *LivePeer) NextNonce() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.nonce
+	p.nonce++
+	return n
+}
+
+// SubmitTx pools a transaction locally and gossips it.
+func (p *LivePeer) SubmitTx(tx *chain.Transaction) error {
+	if err := p.Pool.Add(tx); err != nil && !errors.Is(err, chain.ErrMempoolDuplicate) {
+		return err
+	}
+	p.node.Broadcast(p2p.KindTx, tx, tx.Size())
+	return nil
+}
+
+// pump drains the gossip inbox until Stop.
+func (p *LivePeer) pump() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case msg := <-p.node.Inbox():
+			p.handle(msg)
+		}
+	}
+}
+
+// handle dispatches one gossip message.
+func (p *LivePeer) handle(msg p2p.Message) {
+	switch msg.Kind {
+	case p2p.KindTx:
+		tx, ok := msg.Payload.(*chain.Transaction)
+		if !ok {
+			return
+		}
+		// Duplicates and invalid txs are silently dropped, as in any
+		// gossip mempool.
+		_ = p.Pool.Add(tx)
+	case p2p.KindBlock:
+		b, ok := msg.Payload.(*chain.Block)
+		if !ok {
+			return
+		}
+		p.importBlock(b, true, msg.From)
+	case p2p.KindBlockRequest:
+		h, ok := msg.Payload.(chain.Hash)
+		if !ok {
+			return
+		}
+		if b := p.Chain.GetBlock(h); b != nil && msg.From != "" {
+			_ = p.node.Send(msg.From, p2p.KindBlock, b, b.Size())
+		}
+	}
+}
+
+// importBlock adds a block, untangling orphans; relay re-gossips the
+// block on first successful import (flood routing with dedup via
+// ErrKnownBlock). from identifies who sent the block so missing
+// ancestors can be requested back from them ("" for self-sealed
+// blocks).
+func (p *LivePeer) importBlock(b *chain.Block, relay bool, from string) {
+	reorged, err := p.Chain.AddBlock(b)
+	switch {
+	case err == nil:
+		p.Pool.RemoveBlock(b)
+		if reorged {
+			p.signalNewHead()
+		}
+		if relay {
+			p.node.Broadcast(p2p.KindBlock, b, b.Size())
+		}
+		// A parent may unblock stashed children.
+		p.mu.Lock()
+		children := p.orphans[b.Hash()]
+		delete(p.orphans, b.Hash())
+		p.mu.Unlock()
+		for _, child := range children {
+			p.importBlock(child, relay, from)
+		}
+	case errors.Is(err, chain.ErrUnknownParent):
+		p.mu.Lock()
+		// Bounded stash: drop if the orphan pool is already large.
+		total := 0
+		for _, v := range p.orphans {
+			total += len(v)
+		}
+		if total < 256 {
+			p.orphans[b.Header.ParentHash] = append(p.orphans[b.Header.ParentHash], b)
+		}
+		p.mu.Unlock()
+		// Backfill: walk the ancestry by asking the sender (or anyone)
+		// for the missing parent. Each response recurses until a known
+		// ancestor is reached — the sync protocol that heals partitions.
+		if from != "" {
+			_ = p.node.Send(from, p2p.KindBlockRequest, b.Header.ParentHash, 32)
+		} else {
+			p.node.Broadcast(p2p.KindBlockRequest, b.Header.ParentHash, 32)
+		}
+	default:
+		// Known or invalid: ignore.
+	}
+}
+
+// signalNewHead aborts the current mining attempt.
+func (p *LivePeer) signalNewHead() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	close(p.restart)
+	p.restart = make(chan struct{})
+}
+
+// currentRestart returns the channel the active mining attempt watches.
+func (p *LivePeer) currentRestart() chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.restart
+}
+
+// mineLoop continuously assembles and mines on the current head.
+func (p *LivePeer) mineLoop() {
+	defer p.wg.Done()
+	var nonceSeed uint64
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		restart := p.currentRestart()
+		quit := make(chan struct{})
+		done := make(chan *chain.Block, 1)
+		go func() {
+			b := p.Chain.AssembleAndMine(p.Key.Address(), p.Pool.Pending(),
+				uint64(time.Now().UnixMilli()), nonceSeed, quit)
+			done <- b
+		}()
+		select {
+		case <-p.stop:
+			close(quit)
+			<-done
+			return
+		case <-restart:
+			close(quit)
+			<-done // discard: head moved under us
+		case b := <-done:
+			if b == nil {
+				continue
+			}
+			if _, err := p.Chain.AddBlock(b); err == nil {
+				p.BlocksMined++
+				p.Pool.RemoveBlock(b)
+				p.node.Broadcast(p2p.KindBlock, b, b.Size())
+			}
+		}
+		// Different nonce ranges per attempt reduce wasted duplicate work.
+		nonceSeed += 1 << 32
+	}
+}

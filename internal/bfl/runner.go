@@ -1,0 +1,590 @@
+// Package bfl assembles the full system: fully coupled blockchain-FL
+// peers that train locally, submit models through the aggregation
+// contract on a PoW chain, personalize their aggregation with the core
+// engine, and record their decisions on-chain.
+//
+// Two harnesses are provided. RunDecentralized is the deterministic
+// experiment runner that regenerates Tables II-IV and the wait-policy
+// trade-off study: every peer runs a real chain and the real contracts,
+// with block production sequenced so results are bit-reproducible.
+// LivePeer (peer.go) is the free-running variant — concurrent mining,
+// gossip, fork racing — used by the examples and the dual-task
+// interference benchmark.
+package bfl
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"time"
+
+	"waitornot/internal/chain"
+	"waitornot/internal/contract"
+	"waitornot/internal/core"
+	"waitornot/internal/dataset"
+	"waitornot/internal/fl"
+	"waitornot/internal/keys"
+	"waitornot/internal/nn"
+	"waitornot/internal/xrand"
+)
+
+// Config parameterizes the decentralized experiment.
+type Config struct {
+	// Model picks the architecture.
+	Model nn.ModelID
+	// Peers is the number of fully coupled participants (paper: 3).
+	Peers int
+	// Rounds is the number of communication rounds (paper: 10).
+	Rounds int
+	// Seed drives every random stream.
+	Seed uint64
+	// Data is the synthetic distribution (zero = dataset.DefaultConfig).
+	Data dataset.Config
+	// TrainPerPeer / SelectionSize / TestPerPeer size each peer's data.
+	TrainPerPeer  int
+	SelectionSize int
+	TestPerPeer   int
+	// DirichletAlpha > 0 makes shards non-IID.
+	DirichletAlpha float64
+	// Hyper / Pretrain override training configuration.
+	Hyper    fl.Hyper
+	Pretrain fl.PretrainSpec
+	// Policy is each peer's wait policy (default: core.WaitAll).
+	Policy core.WaitPolicy
+	// Filter screens abnormal models before aggregation.
+	Filter core.Filter
+	// Chain overrides consensus parameters (zero = low-difficulty
+	// defaults suitable for in-process mining).
+	Chain chain.Config
+	// EvalAllCombos evaluates every paper combination on the test set
+	// each round (the data of Tables II-IV). Disable for speed when only
+	// the chosen-model trajectory matters.
+	EvalAllCombos bool
+	// StragglerFactor scales each peer's simulated training duration in
+	// the arrival-time model (nil = all 1.0). Drives the wait-policy
+	// trade-off study.
+	StragglerFactor []float64
+	// BaseLatencyMs and PerKBMs parameterize the simulated network the
+	// arrival model uses.
+	BaseLatencyMs float64
+	PerKBMs       float64
+	// PoisonPeer, if >= 0, label-flips PoisonFrac of that peer's shard
+	// (the abnormal-client scenario).
+	PoisonPeer int
+	PoisonFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == 0 {
+		c.Model = nn.ModelSimpleNN
+	}
+	if c.Peers == 0 {
+		c.Peers = 3
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.Data.Classes == 0 {
+		c.Data = dataset.DefaultConfig()
+	}
+	if c.TrainPerPeer == 0 {
+		c.TrainPerPeer = 3000
+	}
+	if c.SelectionSize == 0 {
+		c.SelectionSize = 300
+	}
+	if c.TestPerPeer == 0 {
+		c.TestPerPeer = 800
+	}
+	if c.Hyper == (fl.Hyper{}) {
+		c.Hyper = fl.DefaultHyper(c.Model)
+	}
+	if c.Pretrain == (fl.PretrainSpec{}) && c.Model == nn.ModelEffNetSim {
+		c.Pretrain = fl.DefaultPretrain()
+	}
+	if c.Policy == nil {
+		c.Policy = core.WaitAll{}
+	}
+	if c.Chain == (chain.Config{}) {
+		c.Chain = chain.DefaultConfig()
+		c.Chain.GenesisDifficulty = 64
+		c.Chain.MinDifficulty = 16
+	}
+	if c.BaseLatencyMs == 0 {
+		c.BaseLatencyMs = 20
+	}
+	if c.PerKBMs == 0 {
+		c.PerKBMs = 0.08 // ~100 Mbit/s
+	}
+	if c.PoisonPeer == 0 && c.PoisonFrac == 0 {
+		c.PoisonPeer = -1
+	}
+	return c
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if !c.Model.Valid() {
+		return fmt.Errorf("bfl: invalid model %v", c.Model)
+	}
+	if c.Peers < 2 {
+		return fmt.Errorf("bfl: need at least 2 peers, got %d", c.Peers)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("bfl: need at least 1 round")
+	}
+	if c.StragglerFactor != nil && len(c.StragglerFactor) != c.Peers {
+		return fmt.Errorf("bfl: %d straggler factors for %d peers", len(c.StragglerFactor), c.Peers)
+	}
+	if c.PoisonPeer >= c.Peers {
+		return fmt.Errorf("bfl: poison peer %d out of range", c.PoisonPeer)
+	}
+	return c.Data.Validate()
+}
+
+// RoundStats records one peer's aggregation round.
+type RoundStats struct {
+	Round int
+	// Included is how many updates the wait policy admitted.
+	Included int
+	// WaitMs is the simulated time from round start to policy firing.
+	WaitMs float64
+	// ChosenCombo labels the adopted combination.
+	ChosenCombo string
+	// ChosenAccuracy is the adopted model's accuracy on the peer's
+	// test set.
+	ChosenAccuracy float64
+	// Rejected lists clients filtered as abnormal.
+	Rejected []string
+}
+
+// ChainStats summarizes the on-chain footprint of an experiment.
+type ChainStats struct {
+	Blocks      int
+	Txs         int
+	GasUsed     uint64
+	Bytes       int
+	Submissions int
+	Decisions   int
+}
+
+// Result is the complete decentralized experiment output.
+type Result struct {
+	Config    Config
+	PeerNames []string
+	// ComboLabels[peer] are that peer's Table II-IV row labels, in order.
+	ComboLabels [][]string
+	// ComboAccuracy[peer][round-1][comboIdx] is the test accuracy of
+	// each combination (only populated when EvalAllCombos).
+	ComboAccuracy [][][]float64
+	// Rounds[peer][round-1] is the per-round aggregation record.
+	Rounds [][]RoundStats
+	// Chain is the footprint of peer 0's canonical chain.
+	Chain ChainStats
+	// TrainWallTime is the cumulative real training time.
+	TrainWallTime time.Duration
+}
+
+// peerState bundles one fully coupled participant in the deterministic
+// runner.
+type peerState struct {
+	name   string
+	key    *keys.Key
+	chain  *chain.Chain
+	pool   *chain.Mempool
+	client *fl.Client
+	agg    *core.Aggregator
+	nonce  uint64
+	// adopted is the weight vector training starts from next round.
+	adopted []float32
+	// simTrainMs is the deterministic training-duration model used for
+	// arrival times (samples x epochs x per-sample cost x straggler).
+	simTrainMs float64
+}
+
+// perSampleCostMs approximates one training pass's cost, used only by
+// the deterministic arrival-time model (real wall time is reported
+// separately).
+func perSampleCostMs(id nn.ModelID) float64 {
+	switch id {
+	case nn.ModelEffNetSim:
+		return 0.0028
+	default:
+		return 0.0008
+	}
+}
+
+// RunDecentralized executes the full blockchain-FL experiment.
+func RunDecentralized(cfg Config) (*Result, error) {
+	res, _, err := runDecentralized(cfg)
+	return res, err
+}
+
+// ResultWithChain couples an experiment result with the canonical chain
+// it produced (peer 0's view — by construction all peers agree in the
+// deterministic runner).
+type ResultWithChain struct {
+	Result         *Result
+	CanonicalChain []*chain.Block
+}
+
+// RunDecentralizedWithChain runs the experiment and also returns the
+// blocks, for inspection and persistence tooling.
+func RunDecentralizedWithChain(cfg Config) (*ResultWithChain, error) {
+	res, c, err := runDecentralized(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultWithChain{Result: res, CanonicalChain: c.CanonicalChain()}, nil
+}
+
+func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	root := xrand.New(cfg.Seed)
+
+	// --- Data ------------------------------------------------------------
+	pool := dataset.Generate(cfg.Data, cfg.TrainPerPeer*cfg.Peers, root.Derive("train-pool"))
+	var shards []*dataset.Set
+	if cfg.DirichletAlpha > 0 {
+		shards = dataset.PartitionDirichlet(pool, cfg.Peers, cfg.DirichletAlpha, root.Derive("partition"))
+	} else {
+		shards = dataset.PartitionIID(pool, cfg.Peers, root.Derive("partition"))
+	}
+	if cfg.PoisonPeer >= 0 && cfg.PoisonFrac > 0 {
+		shards[cfg.PoisonPeer] = dataset.PoisonLabelFlip(shards[cfg.PoisonPeer], cfg.PoisonFrac, root.Derive("poison"))
+	}
+
+	// --- Initial weights (shared; pretrained for the complex model) ------
+	initModel := cfg.Model.Build(root.Derive("init"))
+	if cfg.Model == nn.ModelEffNetSim {
+		fl.Pretrain(initModel, cfg.Data, cfg.Pretrain, root.Derive("pretrain"))
+	}
+	initial := initModel.WeightVector()
+
+	// --- Chain + peers ----------------------------------------------------
+	vm := contract.NewVM(cfg.Chain.Gas)
+	peerKeys := make([]*keys.Key, cfg.Peers)
+	alloc := make(map[keys.Address]uint64, cfg.Peers)
+	for i := range peerKeys {
+		peerKeys[i] = keys.GenerateDeterministic(cfg.Seed*1009 + uint64(i))
+		alloc[peerKeys[i].Address()] = 1 << 62
+	}
+	peers := make([]*peerState, cfg.Peers)
+	for i := range peers {
+		name := fl.ClientName(i)
+		model := cfg.Model.Build(root.Derive("peer-model-" + name))
+		sel := dataset.Generate(cfg.Data, cfg.SelectionSize, root.Derive("selection-"+name))
+		test := dataset.Generate(cfg.Data, cfg.TestPerPeer, root.Derive("test-"+name))
+		client := fl.NewClient(name, model, shards[i], sel, test, cfg.Hyper, root.Derive("train-"+name))
+		straggler := 1.0
+		if cfg.StragglerFactor != nil {
+			straggler = cfg.StragglerFactor[i]
+		}
+		p := &peerState{
+			name:       name,
+			key:        peerKeys[i],
+			chain:      chain.New(cfg.Chain, alloc, vm),
+			pool:       chain.NewMempool(cfg.Chain.Gas),
+			client:     client,
+			adopted:    initial,
+			simTrainMs: float64(shards[i].Len()*cfg.Hyper.LocalEpochs) * perSampleCostMs(cfg.Model) * straggler,
+		}
+		p.agg = core.NewAggregator(name, cfg.Policy, cfg.Filter, client.SelectionEvaluator(), root.Derive("ties-"+name))
+		peers[i] = p
+	}
+
+	// --- Round 0: register identities -------------------------------------
+	virtualMs := uint64(cfg.Chain.TargetIntervalMs)
+	var regTxs []*chain.Transaction
+	for _, p := range peers {
+		tx, err := chain.NewTx(p.key, p.nonce, contract.RegistryAddress, 0,
+			contract.RegisterCallData(p.name), cfg.Chain.Gas, 1_000_000, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.nonce++
+		regTxs = append(regTxs, tx)
+	}
+	if err := mineAndApply(peers, 0, regTxs, virtualMs); err != nil {
+		return nil, nil, fmt.Errorf("bfl: registration block: %w", err)
+	}
+
+	res := &Result{
+		Config:        cfg,
+		PeerNames:     make([]string, cfg.Peers),
+		ComboLabels:   make([][]string, cfg.Peers),
+		ComboAccuracy: make([][][]float64, cfg.Peers),
+		Rounds:        make([][]RoundStats, cfg.Peers),
+	}
+	names := make([]string, cfg.Peers)
+	for i, p := range peers {
+		names[i] = p.name
+		res.PeerNames[i] = p.name
+	}
+	for i := range peers {
+		for _, combo := range fl.PaperCombos(cfg.Peers, i) {
+			res.ComboLabels[i] = append(res.ComboLabels[i], combo.Label(names))
+		}
+	}
+
+	trainStart := time.Now()
+	for round := 1; round <= cfg.Rounds; round++ {
+		// 1. Local training (each peer from its adopted weights).
+		updates := make([]*fl.Update, cfg.Peers)
+		for i, p := range peers {
+			if err := p.client.Adopt(p.adopted); err != nil {
+				return nil, nil, err
+			}
+			updates[i] = p.client.LocalTrain(round)
+		}
+
+		// 2. Submit signed model transactions; gossip to every mempool.
+		var subTxs []*chain.Transaction
+		for i, p := range peers {
+			blob := nn.EncodeWeights(updates[i].Weights)
+			payload := contract.SubmitCallData(uint64(round), uint64(cfg.Model), uint64(updates[i].NumSamples), blob)
+			tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 10_000_000, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.nonce++
+			subTxs = append(subTxs, tx)
+		}
+		virtualMs += uint64(cfg.Chain.TargetIntervalMs)
+		leader := (round - 1) % cfg.Peers
+		if err := mineAndApply(peers, leader, subTxs, virtualMs); err != nil {
+			return nil, nil, fmt.Errorf("bfl: round %d submission block: %w", round, err)
+		}
+
+		// 3. Each peer reads the round's submissions from its own chain
+		// view, reconstructs updates, applies its wait policy over the
+		// arrival-time model, decides, and records the decision.
+		var decTxs []*chain.Transaction
+		remoteArrival := arrivalTimes(cfg, peers, updates)
+		for i, p := range peers {
+			onChain, err := readUpdates(p.chain, round)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+			}
+			included, waitMs := applyPolicy(cfg.Policy, p.name, p.simTrainMs, onChain, remoteArrival)
+			decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), cfg.Peers)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+			}
+			p.adopted = decision.Chosen.Weights
+
+			chosenLabel := comboLabel(decision.Chosen.Combo, decision.KeptClients)
+			stats := RoundStats{
+				Round:          round,
+				Included:       len(included),
+				WaitMs:         waitMs,
+				ChosenCombo:    chosenLabel,
+				ChosenAccuracy: p.client.TestAccuracy(decision.Chosen.Weights),
+				Rejected:       decision.RejectedClients,
+			}
+			res.Rounds[i] = append(res.Rounds[i], stats)
+
+			// Table rows: evaluate every paper combo over the full
+			// update set (independent of the wait policy).
+			if cfg.EvalAllCombos {
+				combos := fl.PaperCombos(cfg.Peers, i)
+				row := make([]float64, 0, len(combos))
+				for _, combo := range combos {
+					w, err := fl.FedAvg(combo.Pick(onChain))
+					if err != nil {
+						return nil, nil, err
+					}
+					row = append(row, p.client.TestAccuracy(w))
+				}
+				res.ComboAccuracy[i] = append(res.ComboAccuracy[i], row)
+			}
+
+			var rh chain.Hash = sha256.Sum256(nn.EncodeWeights(decision.Chosen.Weights))
+			payload := contract.RecordCallData(uint64(round), chosenLabel, rh, uint64(len(decision.Chosen.Combo)))
+			tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 1_000_000, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.nonce++
+			decTxs = append(decTxs, tx)
+		}
+		virtualMs += uint64(cfg.Chain.TargetIntervalMs)
+		if err := mineAndApply(peers, leader, decTxs, virtualMs); err != nil {
+			return nil, nil, fmt.Errorf("bfl: round %d decision block: %w", round, err)
+		}
+	}
+	res.TrainWallTime = time.Since(trainStart)
+	res.Chain = chainStats(peers[0].chain)
+	return res, peers[0].chain, nil
+}
+
+// mineAndApply has the leader assemble and mine a block with txs, then
+// applies it to every peer's chain (deterministic stand-in for block
+// gossip; the live harness in peer.go races for real).
+func mineAndApply(peers []*peerState, leader int, txs []*chain.Transaction, timeMs uint64) error {
+	b := peers[leader].chain.AssembleAndMine(peers[leader].key.Address(), txs, timeMs, 0, nil)
+	if b == nil {
+		return fmt.Errorf("mining aborted")
+	}
+	if len(b.Txs) != len(txs) {
+		return fmt.Errorf("assembled %d of %d txs", len(b.Txs), len(txs))
+	}
+	for _, p := range peers {
+		if _, err := p.chain.AddBlock(b); err != nil {
+			return fmt.Errorf("peer %s: %w", p.name, err)
+		}
+	}
+	return nil
+}
+
+// readUpdates reconstructs the round's model updates from a peer's own
+// chain view: contract records give digests + carrying-tx hashes; the
+// weight bytes are fetched from canonical-chain calldata and verified.
+func readUpdates(c *chain.Chain, round int) ([]*fl.Update, error) {
+	st := c.StateCopy()
+	subs := contract.SubmissionsAt(st, uint64(round))
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("no submissions on chain")
+	}
+	// Index canonical txs once.
+	txByHash := make(map[chain.Hash]*chain.Transaction)
+	for _, b := range c.CanonicalChain() {
+		for _, tx := range b.Txs {
+			txByHash[tx.Hash()] = tx
+		}
+	}
+	out := make([]*fl.Update, 0, len(subs))
+	for _, sub := range subs {
+		tx, ok := txByHash[sub.TxHash]
+		if !ok {
+			return nil, fmt.Errorf("submission tx %s not on canonical chain", sub.TxHash.Short())
+		}
+		method, args, err := contract.DecodeCall(tx.Payload)
+		if err != nil || method != "submit" || len(args) != 4 {
+			return nil, fmt.Errorf("carried payload malformed for %s", sub.TxHash.Short())
+		}
+		blob := args[3]
+		if sha256.Sum256(blob) != [32]byte(sub.WeightsHash) {
+			return nil, fmt.Errorf("weights digest mismatch for %s", sub.TxHash.Short())
+		}
+		weights, err := nn.DecodeWeights(blob)
+		if err != nil {
+			return nil, fmt.Errorf("weights blob corrupt for %s: %w", sub.TxHash.Short(), err)
+		}
+		name := contract.NameOf(st, sub.Sender)
+		if name == "" {
+			name = sub.Sender.Short()
+		}
+		out = append(out, &fl.Update{
+			Client:     name,
+			Round:      round,
+			Weights:    weights,
+			NumSamples: int(sub.NumSamples),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out, nil
+}
+
+// arrivalTimes computes the deterministic arrival-time model: each
+// peer's update becomes visible at train-duration + network delay.
+func arrivalTimes(cfg Config, peers []*peerState, updates []*fl.Update) map[string]float64 {
+	out := make(map[string]float64, len(peers))
+	for i, p := range peers {
+		blobKB := float64(nn.EncodedSize(len(updates[i].Weights))) / 1024
+		out[p.name] = p.simTrainMs + cfg.BaseLatencyMs + blobKB*cfg.PerKBMs
+	}
+	return out
+}
+
+// applyPolicy walks updates in arrival order and returns the subset
+// available when the wait policy fires, plus the firing time in ms. The
+// peer's own update is available the moment its training completes (no
+// network hop) and is always part of the aggregation, matching the
+// paper: a peer never discards its own local model.
+func applyPolicy(policy core.WaitPolicy, self string, selfTrainMs float64, updates []*fl.Update, remoteArrival map[string]float64) ([]*fl.Update, float64) {
+	type event struct {
+		at float64
+		u  *fl.Update
+	}
+	events := make([]event, 0, len(updates))
+	for _, u := range updates {
+		at := remoteArrival[u.Client]
+		if u.Client == self {
+			at = selfTrainMs
+		}
+		events = append(events, event{at: at, u: u})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].u.Client < events[j].u.Client
+	})
+	// The peer cannot aggregate before its own training is done, so the
+	// round effectively opens then; include every update that has
+	// arrived by each event and probe the policy.
+	expected := len(updates)
+	var included []*fl.Update
+	haveSelf := false
+	for _, ev := range events {
+		included = append(included, ev.u)
+		if ev.u.Client == self {
+			haveSelf = true
+		}
+		if !haveSelf {
+			continue // keep waiting at least for our own model
+		}
+		if policy.Ready(len(included), expected, time.Duration(ev.at*float64(time.Millisecond))) {
+			return included, ev.at
+		}
+	}
+	// Policy never fired on arrivals (e.g. pure Timeout with horizon
+	// beyond the last arrival): aggregate everything at the last event.
+	return updates, events[len(events)-1].at
+}
+
+// comboLabel renders a combo's client names (sorted) using the decision's
+// kept-client ordering.
+func comboLabel(combo fl.Combo, keptClients []string) string {
+	parts := make([]string, 0, len(combo))
+	for _, idx := range combo {
+		parts = append(parts, keptClients[idx])
+	}
+	sort.Strings(parts)
+	var buf bytes.Buffer
+	for i, p := range parts {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(p)
+	}
+	return buf.String()
+}
+
+// chainStats summarizes a chain's canonical footprint.
+func chainStats(c *chain.Chain) ChainStats {
+	var out ChainStats
+	for _, b := range c.CanonicalChain() {
+		out.Blocks++
+		out.Txs += len(b.Txs)
+		out.GasUsed += b.Header.GasUsed
+		out.Bytes += b.Size()
+		for _, tx := range b.Txs {
+			if method, _, err := contract.DecodeCall(tx.Payload); err == nil {
+				switch method {
+				case "submit":
+					out.Submissions++
+				case "record":
+					out.Decisions++
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,614 @@
+package chain
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"waitornot/internal/keys"
+)
+
+// Low-difficulty config so tests mine instantly.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GenesisDifficulty = 4
+	cfg.MinDifficulty = 1
+	return cfg
+}
+
+func testKeys(n int) []*keys.Key {
+	out := make([]*keys.Key, n)
+	for i := range out {
+		out[i] = keys.GenerateDeterministic(uint64(100 + i))
+	}
+	return out
+}
+
+func testAlloc(ks []*keys.Key) map[keys.Address]uint64 {
+	alloc := make(map[keys.Address]uint64, len(ks))
+	for _, k := range ks {
+		alloc[k.Address()] = 1 << 62
+	}
+	return alloc
+}
+
+func newTestChain(t *testing.T) (*Chain, []*keys.Key) {
+	t.Helper()
+	ks := testKeys(3)
+	return New(testConfig(), testAlloc(ks), nil), ks
+}
+
+// mineNext assembles and mines a block with the given txs on c's head.
+func mineNext(t *testing.T, c *Chain, miner *keys.Key, txs []*Transaction) *Block {
+	t.Helper()
+	b := c.AssembleAndMine(miner.Address(), txs, c.Head().Header.Time+1500, 0, nil)
+	if b == nil {
+		t.Fatal("mining returned nil block")
+	}
+	return b
+}
+
+func signedTx(t *testing.T, k *keys.Key, nonce uint64, to keys.Address, payload []byte) *Transaction {
+	t.Helper()
+	tx, err := NewTx(k, nonce, to, 0, payload, DefaultGasSchedule(), 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestGenesis(t *testing.T) {
+	c, _ := newTestChain(t)
+	g := c.Genesis()
+	if g.Header.Number != 0 {
+		t.Fatal("genesis number must be 0")
+	}
+	if c.Head().Hash() != g.Hash() {
+		t.Fatal("head must start at genesis")
+	}
+	if c.Height() != 0 {
+		t.Fatal("height must start at 0")
+	}
+}
+
+func TestTxSignatureRoundTrip(t *testing.T) {
+	ks := testKeys(2)
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), []byte("payload"))
+	if err := tx.VerifySignature(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxTamperDetectedProperty(t *testing.T) {
+	ks := testKeys(2)
+	base := signedTx(t, ks[0], 0, ks[1].Address(), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	mutations := []func(tx *Transaction){
+		func(tx *Transaction) { tx.Nonce++ },
+		func(tx *Transaction) { tx.Value += 5 },
+		func(tx *Transaction) { tx.GasLimit-- },
+		func(tx *Transaction) { tx.GasPrice += 9 },
+		func(tx *Transaction) { tx.Payload[0] ^= 0xff },
+		func(tx *Transaction) { tx.To[3] ^= 1 },
+		func(tx *Transaction) { tx.From[3] ^= 1 },
+		func(tx *Transaction) { tx.Sig[10] ^= 1 },
+	}
+	for i, mutate := range mutations {
+		cp := *base
+		cp.Payload = append([]byte(nil), base.Payload...)
+		mutate(&cp)
+		if err := cp.VerifySignature(); err == nil {
+			t.Errorf("mutation %d not detected", i)
+		}
+	}
+}
+
+func TestIntrinsicGasPricing(t *testing.T) {
+	gs := DefaultGasSchedule()
+	if got := gs.Intrinsic(nil); got != gs.TxBase {
+		t.Fatalf("empty payload intrinsic = %d", got)
+	}
+	payload := []byte{0, 0, 1, 2}
+	want := gs.TxBase + 2*gs.PayloadZeroByte + 2*gs.PayloadNonZeroByte
+	if got := gs.Intrinsic(payload); got != want {
+		t.Fatalf("intrinsic = %d, want %d", got, want)
+	}
+}
+
+func TestGasGrowsWithModelSize(t *testing.T) {
+	// The paper's premise (ref [12]): transaction gas tracks model size.
+	gs := DefaultGasSchedule()
+	small := make([]byte, 1000)
+	large := make([]byte, 10000)
+	for i := range small {
+		small[i] = 1
+	}
+	for i := range large {
+		large[i] = 1
+	}
+	if gs.Intrinsic(large) <= gs.Intrinsic(small) {
+		t.Fatal("larger payload must cost more gas")
+	}
+}
+
+func TestMerkleRoot(t *testing.T) {
+	ks := testKeys(2)
+	tx1 := signedTx(t, ks[0], 0, ks[1].Address(), []byte("a"))
+	tx2 := signedTx(t, ks[0], 1, ks[1].Address(), []byte("b"))
+
+	if MerkleRoot(nil) != (Hash{}) {
+		t.Fatal("empty root must be zero")
+	}
+	r1 := MerkleRoot([]*Transaction{tx1})
+	r12 := MerkleRoot([]*Transaction{tx1, tx2})
+	r21 := MerkleRoot([]*Transaction{tx2, tx1})
+	if r1 == r12 {
+		t.Fatal("root must depend on tx set")
+	}
+	if r12 == r21 {
+		t.Fatal("root must depend on tx order")
+	}
+	if MerkleRoot([]*Transaction{tx1, tx2}) != r12 {
+		t.Fatal("root must be deterministic")
+	}
+	// Odd count exercises the duplicate-last rule.
+	tx3 := signedTx(t, ks[0], 2, ks[1].Address(), []byte("c"))
+	_ = MerkleRoot([]*Transaction{tx1, tx2, tx3})
+}
+
+func TestPoWMineAndCheck(t *testing.T) {
+	h := Header{Difficulty: 16}
+	if !Mine(&h, 0, nil) {
+		t.Fatal("mining failed")
+	}
+	if !CheckPoW(&h) {
+		t.Fatal("mined header fails CheckPoW")
+	}
+	h.Nonce++
+	// Overwhelmingly likely to fail at difficulty 16 after nonce bump.
+	if CheckPoW(&h) {
+		t.Skip("lucky nonce collision; negligible probability")
+	}
+}
+
+func TestMineRespectsQuit(t *testing.T) {
+	quit := make(chan struct{})
+	close(quit)
+	h := Header{Difficulty: 1 << 62} // effectively unminable
+	if Mine(&h, 0, quit) {
+		t.Fatal("mining must abort when quit is closed")
+	}
+}
+
+func TestNextDifficulty(t *testing.T) {
+	parent := &Header{Difficulty: 6400, Time: 10_000}
+	// Fast block -> difficulty up.
+	if got := NextDifficulty(parent, 10_100, 1000, 1); got <= 6400 {
+		t.Fatalf("fast block difficulty %d, want > 6400", got)
+	}
+	// Slow block -> difficulty down.
+	if got := NextDifficulty(parent, 13_000, 1000, 1); got >= 6400 {
+		t.Fatalf("slow block difficulty %d, want < 6400", got)
+	}
+	// In-window -> unchanged.
+	if got := NextDifficulty(parent, 11_500, 1000, 1); got != 6400 {
+		t.Fatalf("in-window difficulty %d, want 6400", got)
+	}
+	// Floor.
+	tiny := &Header{Difficulty: 5, Time: 0}
+	if got := NextDifficulty(tiny, 10_000, 1000, 4); got < 4 {
+		t.Fatalf("difficulty %d below floor", got)
+	}
+}
+
+func TestAddBlockExtendsChain(t *testing.T) {
+	c, ks := newTestChain(t)
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), []byte("hello"))
+	b := mineNext(t, c, ks[2], []*Transaction{tx})
+	reorged, err := c.AddBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reorged {
+		t.Fatal("first block must advance head")
+	}
+	if c.Height() != 1 || c.Head().Hash() != b.Hash() {
+		t.Fatal("head not updated")
+	}
+	recs := c.Receipts(b.Hash())
+	if len(recs) != 1 || recs[0].Err != "" {
+		t.Fatalf("receipts = %+v", recs)
+	}
+	// Nonce advanced; miner paid fees + reward.
+	st := c.StateCopy()
+	if st.Account(ks[0].Address()).Nonce != 1 {
+		t.Fatal("sender nonce not advanced")
+	}
+	minerBal := st.Account(ks[2].Address()).Balance
+	if minerBal <= 1<<62 {
+		t.Fatal("miner not rewarded")
+	}
+}
+
+func TestAddBlockRejectsTampering(t *testing.T) {
+	c, ks := newTestChain(t)
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), []byte("hello"))
+	good := mineNext(t, c, ks[2], []*Transaction{tx})
+
+	cases := map[string]func(b *Block){
+		"wrong number": func(b *Block) { b.Header.Number = 5 },
+		"bad pow": func(b *Block) {
+			// Difficulty is tiny in tests, so a random nonce often still
+			// seals; search for one that genuinely fails PoW.
+			for b.Header.Nonce = good.Header.Nonce + 1; CheckPoW(&b.Header); b.Header.Nonce++ {
+			}
+		},
+		"bad tx root":  func(b *Block) { b.Header.TxRoot = Hash{1} },
+		"bad gas used": func(b *Block) { b.Header.GasUsed += 7 },
+		"bad time":     func(b *Block) { b.Header.Time = 0; b.Header.Difficulty = 0 },
+		"wrong parent": func(b *Block) { b.Header.ParentHash = Hash{9} },
+		"wrong retarget": func(b *Block) {
+			b.Header.Difficulty = good.Header.Difficulty + 1
+		},
+	}
+	for name, corrupt := range cases {
+		cp := *good
+		cp.Txs = append([]*Transaction(nil), good.Txs...)
+		corrupt(&cp)
+		if _, err := c.AddBlock(&cp); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The untampered block still lands.
+	if _, err := c.AddBlock(good); err != nil {
+		t.Fatalf("good block rejected: %v", err)
+	}
+	if _, err := c.AddBlock(good); !errors.Is(err, ErrKnownBlock) {
+		t.Fatal("duplicate must be rejected")
+	}
+}
+
+func TestAddBlockRejectsForgedTx(t *testing.T) {
+	c, ks := newTestChain(t)
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), []byte("hi"))
+	tx.Payload = []byte("ha") // tamper after signing
+	b := c.AssembleAndMine(ks[2].Address(), nil, c.Head().Header.Time+1500, 0, nil)
+	b.Txs = []*Transaction{tx}
+	b.Header.TxRoot = MerkleRoot(b.Txs)
+	b.Header.GasUsed = DefaultGasSchedule().Intrinsic(tx.Payload)
+	if !Mine(&b.Header, 0, nil) {
+		t.Fatal("re-mine failed")
+	}
+	if _, err := c.AddBlock(b); err == nil {
+		t.Fatal("block with forged tx accepted")
+	}
+}
+
+func TestForkChoiceTotalDifficulty(t *testing.T) {
+	c, ks := newTestChain(t)
+	// Branch A: one block on genesis.
+	a1 := mineNext(t, c, ks[0], nil)
+	if _, err := c.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+	// Branch B: two blocks on genesis, built on a second chain instance
+	// sharing the same genesis (same config + alloc).
+	c2 := New(testConfig(), testAlloc(ks), nil)
+	b1 := mineNext(t, c2, ks[1], nil)
+	if _, err := c2.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mineNext(t, c2, ks[1], nil)
+	if _, err := c2.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed branch B into c: b1 is a side branch first, then b2 reorgs.
+	if _, err := c.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Head().Hash() == b1.Hash() {
+		t.Fatal("equal-height side branch must not displace head (unless heavier)")
+	}
+	reorged, err := c.AddBlock(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reorged || c.Head().Hash() != b2.Hash() {
+		t.Fatal("heavier branch must win")
+	}
+	if c.Height() != 2 {
+		t.Fatalf("height = %d", c.Height())
+	}
+	// Canonical chain is genesis -> b1 -> b2.
+	canon := c.CanonicalChain()
+	if len(canon) != 3 || canon[1].Hash() != b1.Hash() || canon[2].Hash() != b2.Hash() {
+		t.Fatal("canonical chain wrong after reorg")
+	}
+}
+
+func TestReorgReplaysState(t *testing.T) {
+	c, ks := newTestChain(t)
+	// Head branch: tx from ks[0].
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), []byte("x"))
+	a1 := mineNext(t, c, ks[0], []*Transaction{tx})
+	if _, err := c.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+	if c.StateCopy().Account(ks[0].Address()).Nonce != 1 {
+		t.Fatal("tx not applied")
+	}
+	// Competing branch without the tx, two blocks long.
+	c2 := New(testConfig(), testAlloc(ks), nil)
+	b1 := mineNext(t, c2, ks[1], nil)
+	if _, err := c2.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mineNext(t, c2, ks[1], nil)
+	if _, err := c2.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	// After the reorg the tx is no longer applied.
+	if got := c.StateCopy().Account(ks[0].Address()).Nonce; got != 0 {
+		t.Fatalf("reorged state kept old branch's nonce %d", got)
+	}
+}
+
+func TestApplyTxRules(t *testing.T) {
+	ks := testKeys(2)
+	gs := DefaultGasSchedule()
+	st := NewState()
+	st.Account(ks[0].Address()).Balance = 10_000_000
+
+	// Wrong nonce.
+	tx := signedTx(t, ks[0], 5, ks[1].Address(), nil)
+	if _, err := ApplyTx(gs, st, tx, ks[1].Address(), NopProcessor{}); !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("want ErrBadNonce, got %v", err)
+	}
+	// Insufficient balance: gas limit alone exceeds balance.
+	poor := keys.GenerateDeterministic(999)
+	st.Account(poor.Address()).Balance = 10
+	tx2 := signedTx(t, poor, 0, ks[1].Address(), nil)
+	if _, err := ApplyTx(gs, st, tx2, ks[1].Address(), NopProcessor{}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("want ErrInsufficient, got %v", err)
+	}
+	// Valid transfer moves value and pays the miner.
+	tx3, err := NewTx(ks[0], 0, ks[1].Address(), 1234, nil, gs, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Account(ks[1].Address()).Balance
+	rec, err := ApplyTx(gs, st, tx3, ks[1].Address(), NopProcessor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Err != "" || rec.GasUsed != gs.TxBase {
+		t.Fatalf("receipt = %+v", rec)
+	}
+	// ks[1] is both destination and miner: +value +fee.
+	gained := st.Account(ks[1].Address()).Balance - before
+	if gained != 1234+gs.TxBase {
+		t.Fatalf("destination gained %d", gained)
+	}
+}
+
+type failingProcessor struct{}
+
+func (failingProcessor) Execute(tx *Transaction, st *State) (uint64, []Log, error) {
+	// Scribble on state, then fail: the scribble must be reverted.
+	st.Set(tx.To, "scribble", []byte("x"))
+	return 100, nil, errors.New("revert: test")
+}
+
+func TestApplyTxRevertsOnExecutionError(t *testing.T) {
+	ks := testKeys(2)
+	gs := DefaultGasSchedule()
+	st := NewState()
+	st.Account(ks[0].Address()).Balance = 10_000_000
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), nil)
+	rec, err := ApplyTx(gs, st, tx, ks[1].Address(), failingProcessor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Err == "" {
+		t.Fatal("receipt must carry the revert reason")
+	}
+	if st.Get(tx.To, "scribble") != nil {
+		t.Fatal("state changes must be reverted")
+	}
+	if st.Account(ks[0].Address()).Nonce != 1 {
+		t.Fatal("nonce must advance even on revert")
+	}
+	if st.Account(ks[0].Address()).Balance == 10_000_000 {
+		t.Fatal("gas must be charged even on revert")
+	}
+}
+
+func TestStateCopyIsolation(t *testing.T) {
+	st := NewState()
+	a := keys.GenerateDeterministic(1).Address()
+	st.Account(a).Balance = 5
+	st.Set(a, "k", []byte{1})
+	cp := st.Copy()
+	cp.Account(a).Balance = 99
+	cp.Set(a, "k", []byte{2})
+	if st.Account(a).Balance != 5 || st.Get(a, "k")[0] != 1 {
+		t.Fatal("copy aliases original")
+	}
+}
+
+func TestStateKeysSorted(t *testing.T) {
+	st := NewState()
+	a := keys.GenerateDeterministic(1).Address()
+	st.Set(a, "b", nil)
+	st.Set(a, "a", nil)
+	st.Set(a, "c", nil)
+	got := st.Keys(a)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestMempoolOrderingAndDedup(t *testing.T) {
+	ks := testKeys(2)
+	gs := DefaultGasSchedule()
+	mp := NewMempool(gs)
+	mk := func(nonce, price uint64) *Transaction {
+		tx, err := NewTx(ks[0], nonce, ks[1].Address(), 0, nil, gs, 0, price)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tx
+	}
+	cheap := mk(0, 1)
+	dear := mk(1, 10)
+	if err := mp.Add(cheap); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Add(dear); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Add(cheap); !errors.Is(err, ErrMempoolDuplicate) {
+		t.Fatal("duplicate accepted")
+	}
+	pending := mp.Pending()
+	if len(pending) != 2 || pending[0].GasPrice != 10 {
+		t.Fatal("pending not price-ordered")
+	}
+	mp.Remove([]Hash{dear.Hash()})
+	if mp.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestMempoolRejectsInvalid(t *testing.T) {
+	mp := NewMempool(DefaultGasSchedule())
+	ks := testKeys(2)
+	tx := signedTx(t, ks[0], 0, ks[1].Address(), []byte("x"))
+	tx.Payload = []byte("y")
+	if err := mp.Add(tx); err == nil {
+		t.Fatal("tampered tx accepted")
+	}
+	var zero keys.Address
+	tx2, _ := NewTx(ks[0], 0, zero, 0, nil, DefaultGasSchedule(), 0, 1)
+	if err := mp.Add(tx2); !errors.Is(err, ErrBadDest) {
+		t.Fatalf("zero destination accepted: %v", err)
+	}
+}
+
+func TestAssembleAndMineSkipsInvalidTxs(t *testing.T) {
+	c, ks := newTestChain(t)
+	good := signedTx(t, ks[0], 0, ks[1].Address(), []byte("ok"))
+	badNonce := signedTx(t, ks[0], 7, ks[1].Address(), []byte("bad"))
+	b := mineNext(t, c, ks[2], []*Transaction{badNonce, good})
+	if len(b.Txs) != 1 || b.Txs[0].Hash() != good.Hash() {
+		t.Fatalf("block includes %d txs", len(b.Txs))
+	}
+	if _, err := c.AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockGasLimitEnforcedAtAssembly(t *testing.T) {
+	cfg := testConfig()
+	cfg.BlockGasLimit = 50_000 // fits one simple tx, not two
+	ks := testKeys(3)
+	c := New(cfg, testAlloc(ks), nil)
+	tx1 := signedTx(t, ks[0], 0, ks[1].Address(), nil)
+	tx2 := signedTx(t, ks[1], 0, ks[0].Address(), nil)
+	// signedTx uses a 1M exec budget: shrink limits to intrinsic only.
+	tx1, _ = NewTx(ks[0], 0, ks[1].Address(), 0, nil, cfg.Gas, 0, 1)
+	tx2, _ = NewTx(ks[1], 0, ks[0].Address(), 0, nil, cfg.Gas, 0, 1)
+	b := c.AssembleAndMine(ks[2].Address(), []*Transaction{tx1, tx2}, 2000, 0, nil)
+	if len(b.Txs) != 2 {
+		// 2*21000 = 42000 <= 50000, so both fit.
+		t.Fatalf("expected both txs to fit, got %d", len(b.Txs))
+	}
+	cfg.BlockGasLimit = 30_000
+	c2 := New(cfg, testAlloc(ks), nil)
+	b2 := c2.AssembleAndMine(ks[2].Address(), []*Transaction{tx1, tx2}, 2000, 0, nil)
+	if len(b2.Txs) != 1 {
+		t.Fatalf("expected one tx at 30k gas, got %d", len(b2.Txs))
+	}
+	if _, err := c2.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateAtHistoricalBlock(t *testing.T) {
+	c, ks := newTestChain(t)
+	b1 := mineNext(t, c, ks[0], []*Transaction{signedTx(t, ks[0], 0, ks[1].Address(), nil)})
+	if _, err := c.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mineNext(t, c, ks[0], []*Transaction{signedTx(t, ks[0], 1, ks[1].Address(), nil)})
+	if _, err := c.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c.StateAt(b1.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Account(ks[0].Address()).Nonce != 1 {
+		t.Fatal("historical state wrong")
+	}
+	st2, err := c.StateAt(b2.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Account(ks[0].Address()).Nonce != 2 {
+		t.Fatal("head state wrong")
+	}
+}
+
+func TestTotalDifficultyMonotonic(t *testing.T) {
+	c, ks := newTestChain(t)
+	prev := c.TotalDifficulty()
+	for i := 0; i < 5; i++ {
+		b := mineNext(t, c, ks[0], nil)
+		if _, err := c.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		td := c.TotalDifficulty()
+		if td.Cmp(prev) <= 0 {
+			t.Fatal("total difficulty must increase")
+		}
+		prev = td
+	}
+}
+
+func TestHeaderHashDeterministicProperty(t *testing.T) {
+	check := func(num, time, diff, nonce uint64) bool {
+		h1 := Header{Number: num, Time: time, Difficulty: diff, Nonce: nonce}
+		h2 := Header{Number: num, Time: time, Difficulty: diff, Nonce: nonce}
+		if h1.Hash() != h2.Hash() {
+			return false
+		}
+		h2.Nonce++
+		return h1.Hash() != h2.Hash()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowTargetInverseToDifficulty(t *testing.T) {
+	t1 := powTarget(1)
+	t2 := powTarget(2)
+	if t1.Cmp(t2) <= 0 {
+		t.Fatal("higher difficulty must mean lower target")
+	}
+	if powTarget(0).Cmp(powTarget(1)) != 0 {
+		t.Fatal("difficulty 0 must clamp to 1")
+	}
+	// target(1) = 2^256.
+	if t1.Cmp(new(big.Int).Lsh(big.NewInt(1), 256)) != 0 {
+		t.Fatal("target at difficulty 1 must be 2^256")
+	}
+}

@@ -1,0 +1,26 @@
+package chain
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// WriteChain serializes blocks (typically a canonical chain) with gob —
+// the persistence format the inspection tooling uses. The genesis block
+// is included so a reader can verify the chain from scratch.
+func WriteChain(w io.Writer, blocks []*Block) error {
+	if err := gob.NewEncoder(w).Encode(blocks); err != nil {
+		return fmt.Errorf("chain: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadChain deserializes blocks written by WriteChain.
+func ReadChain(r io.Reader) ([]*Block, error) {
+	var blocks []*Block
+	if err := gob.NewDecoder(r).Decode(&blocks); err != nil {
+		return nil, fmt.Errorf("chain: decode: %w", err)
+	}
+	return blocks, nil
+}

@@ -1,0 +1,146 @@
+// Package chain implements the permissionless proof-of-work blockchain
+// the decentralized experiments run on: ECDSA-signed transactions,
+// blocks with Merkle transaction roots, PoW mining with difficulty
+// retargeting, account state with gas accounting, a mempool, and a chain
+// store with total-difficulty fork choice.
+//
+// It stands in for the paper's private Ethereum (Geth) deployment; see
+// DESIGN.md for the substitution argument. The consensus rules are a
+// simplified but faithful PoW subset: hash-below-target block sealing,
+// heaviest-chain selection, per-byte calldata gas (the paper's ref [12]
+// "gas conversion" making transaction cost track model size), and
+// intrinsic transaction gas.
+package chain
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"waitornot/internal/keys"
+)
+
+// Hash is a 32-byte SHA-256 digest.
+type Hash [32]byte
+
+// String renders the hash as 0x-prefixed hex.
+func (h Hash) String() string { return fmt.Sprintf("0x%x", h[:]) }
+
+// Short renders the first 4 bytes for logs.
+func (h Hash) Short() string { return fmt.Sprintf("0x%x", h[:4]) }
+
+// Transaction is a signed message from an externally owned account to a
+// contract (or another account, for plain value transfer).
+type Transaction struct {
+	// From is the sender address; it must match PubKey.
+	From keys.Address
+	// PubKey is the sender's encoded public key. Carrying it in the
+	// transaction sidesteps signature recovery, which the stdlib's
+	// ECDSA does not expose.
+	PubKey []byte
+	// Nonce is the sender's transaction count; it must be sequential.
+	Nonce uint64
+	// To is the destination account or contract. The zero address is
+	// reserved for system use and is not a valid destination.
+	To keys.Address
+	// Value is the token amount transferred.
+	Value uint64
+	// GasLimit caps the gas this transaction may consume.
+	GasLimit uint64
+	// GasPrice is the fee per unit of gas, paid to the miner.
+	GasPrice uint64
+	// Payload is the contract call data (for model submissions, the
+	// encoded weight blob — the dominant cost, as in the paper).
+	Payload []byte
+	// Sig is the ECDSA signature over SigningBytes.
+	Sig keys.Signature
+}
+
+// SigningBytes returns the deterministic encoding of everything except
+// the signature — the message that is signed.
+func (tx *Transaction) SigningBytes() []byte {
+	var buf bytes.Buffer
+	buf.Grow(2*keys.AddressLen + len(tx.PubKey) + len(tx.Payload) + 64)
+	buf.Write(tx.From[:])
+	writeBytes(&buf, tx.PubKey)
+	writeU64(&buf, tx.Nonce)
+	buf.Write(tx.To[:])
+	writeU64(&buf, tx.Value)
+	writeU64(&buf, tx.GasLimit)
+	writeU64(&buf, tx.GasPrice)
+	writeBytes(&buf, tx.Payload)
+	return buf.Bytes()
+}
+
+// Hash returns the transaction id: the SHA-256 of the signed encoding.
+func (tx *Transaction) Hash() Hash {
+	var buf bytes.Buffer
+	buf.Write(tx.SigningBytes())
+	buf.Write(tx.Sig[:])
+	return sha256.Sum256(buf.Bytes())
+}
+
+// Sign populates From, PubKey, and Sig from the key.
+func (tx *Transaction) Sign(k *keys.Key) error {
+	tx.From = k.Address()
+	tx.PubKey = k.PublicKey()
+	sig, err := k.Sign(tx.SigningBytes())
+	if err != nil {
+		return err
+	}
+	tx.Sig = sig
+	return nil
+}
+
+// Sentinel validation errors.
+var (
+	ErrBadFrom   = errors.New("chain: tx sender does not match public key")
+	ErrBadSig    = errors.New("chain: tx signature invalid")
+	ErrBadDest   = errors.New("chain: tx destination is the zero address")
+	ErrGasTooLow = errors.New("chain: tx gas limit below intrinsic gas")
+)
+
+// VerifySignature checks the sender binding and ECDSA signature.
+func (tx *Transaction) VerifySignature() error {
+	if keys.PubToAddress(tx.PubKey) != tx.From {
+		return ErrBadFrom
+	}
+	if err := keys.Verify(tx.PubKey, tx.SigningBytes(), tx.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSig, err)
+	}
+	return nil
+}
+
+// ValidateBasic performs stateless checks: signature, destination, and
+// intrinsic gas affordability under the given schedule.
+func (tx *Transaction) ValidateBasic(gs GasSchedule) error {
+	if tx.To.IsZero() {
+		return ErrBadDest
+	}
+	if err := tx.VerifySignature(); err != nil {
+		return err
+	}
+	if tx.GasLimit < gs.Intrinsic(tx.Payload) {
+		return fmt.Errorf("%w: limit %d < intrinsic %d", ErrGasTooLow, tx.GasLimit, gs.Intrinsic(tx.Payload))
+	}
+	return nil
+}
+
+// Size returns the encoded byte size of the transaction (used by
+// block-capacity accounting and the throughput benchmarks).
+func (tx *Transaction) Size() int {
+	return len(tx.SigningBytes()) + len(tx.Sig)
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeU64(buf, uint64(len(b)))
+	buf.Write(b)
+}

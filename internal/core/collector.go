@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"waitornot/internal/fl"
+)
+
+// Collector gathers one round's model updates as they arrive from the
+// network and fires once the peer's WaitPolicy is satisfied. It is safe
+// for concurrent use. Time is injected so virtual-clock harnesses can
+// drive it deterministically.
+type Collector struct {
+	expected int
+	policy   WaitPolicy
+	now      func() time.Time
+
+	mu       sync.Mutex
+	start    time.Time
+	updates  map[string]*fl.Update
+	ready    chan struct{}
+	readyAt  time.Time
+	fired    bool
+	lastTick time.Time
+}
+
+// NewCollector builds a collector for a round expecting the given number
+// of participants. now defaults to time.Now.
+func NewCollector(expected int, policy WaitPolicy, now func() time.Time) *Collector {
+	if expected <= 0 {
+		panic(fmt.Sprintf("core: collector expected %d participants", expected))
+	}
+	if policy == nil {
+		policy = WaitAll{}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	c := &Collector{
+		expected: expected,
+		policy:   policy,
+		now:      now,
+		updates:  make(map[string]*fl.Update, expected),
+		ready:    make(chan struct{}),
+	}
+	c.start = now()
+	return c
+}
+
+// Add records an update (duplicates from the same client are ignored;
+// the first wins, since on-chain order is canonical). It returns true if
+// this call transitioned the collector to ready.
+func (c *Collector) Add(u *fl.Update) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.updates[u.Client]; !dup {
+		c.updates[u.Client] = u
+	}
+	return c.checkLocked()
+}
+
+// Tick re-evaluates time-based policies (e.g. Timeout) against the
+// injected clock; returns true if the collector became ready.
+func (c *Collector) Tick() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checkLocked()
+}
+
+func (c *Collector) checkLocked() bool {
+	if c.fired {
+		return false
+	}
+	c.lastTick = c.now()
+	if c.policy.Ready(len(c.updates), c.expected, c.lastTick.Sub(c.start)) {
+		c.fired = true
+		c.readyAt = c.lastTick
+		close(c.ready)
+		return true
+	}
+	return false
+}
+
+// Ready returns a channel closed when the policy fires.
+func (c *Collector) Ready() <-chan struct{} { return c.ready }
+
+// Fired reports whether the policy has fired.
+func (c *Collector) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// Updates returns the collected updates sorted by client name.
+func (c *Collector) Updates() []*fl.Update {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*fl.Update, 0, len(c.updates))
+	for _, u := range c.updates {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Client < out[j].Client })
+	return out
+}
+
+// WaitTime reports how long the collector waited before firing (or how
+// long it has been waiting so far).
+func (c *Collector) WaitTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fired {
+		return c.readyAt.Sub(c.start)
+	}
+	return c.now().Sub(c.start)
+}

@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"waitornot/internal/xrand"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateRejectsBad(t *testing.T) {
+	cases := map[string]func(*Config){
+		"one class":       func(c *Config) { c.Classes = 1 },
+		"zero channels":   func(c *Config) { c.ImageC = 0 },
+		"huge patch":      func(c *Config) { c.PatchSize = 1000 },
+		"zero patch":      func(c *Config) { c.PatchSize = 0 },
+		"bad hue groups":  func(c *Config) { c.HueGroups = 0 },
+		"too many hues":   func(c *Config) { c.HueGroups = 99 },
+		"label noise 1.0": func(c *Config) { c.LabelNoise = 1.0 },
+		"negative noise":  func(c *Config) { c.LabelNoise = -0.1 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(cfg, 50, xrand.New(7))
+	b := Generate(cfg, 50, xrand.New(7))
+	if !a.X.Equal(b.X) {
+		t.Fatal("images differ across identical seeds")
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+	}
+	c := Generate(cfg, 50, xrand.New(8))
+	if a.X.Equal(c.X) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateShapeAndLabels(t *testing.T) {
+	cfg := DefaultConfig()
+	s := Generate(cfg, 100, xrand.New(1))
+	if s.Len() != 100 || s.X.Cols != cfg.ImageLen() {
+		t.Fatalf("bad shape %dx%d", s.X.Rows, s.X.Cols)
+	}
+	for _, y := range s.Y {
+		if y < 0 || y >= cfg.Classes {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+}
+
+func TestGenerateBalancedClasses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LabelNoise = 0
+	s := Generate(cfg, 1000, xrand.New(2))
+	counts := s.ClassCounts()
+	for c, n := range counts {
+		if n != 100 {
+			t.Errorf("class %d has %d samples, want 100", c, n)
+		}
+	}
+}
+
+func TestTexturesDistinctAcrossClasses(t *testing.T) {
+	cfg := DefaultConfig()
+	for a := 0; a < cfg.Classes; a++ {
+		for b := a + 1; b < cfg.Classes; b++ {
+			ta, tb := cfg.texture(a), cfg.texture(b)
+			var diff float64
+			for i := range ta {
+				diff += math.Abs(ta[i] - tb[i])
+			}
+			if diff < 1 {
+				t.Errorf("textures %d and %d nearly identical (L1=%v)", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestTextureFamiliesDiffer(t *testing.T) {
+	c0 := DefaultConfig()
+	c1 := DefaultConfig()
+	c1.TextureFamily = 1
+	for cls := 0; cls < c0.Classes; cls++ {
+		ta, tb := c0.texture(cls), c1.texture(cls)
+		var diff float64
+		for i := range ta {
+			diff += math.Abs(ta[i] - tb[i])
+		}
+		if diff < 0.5 {
+			t.Errorf("class %d: families too similar (L1=%v)", cls, diff)
+		}
+	}
+}
+
+func TestSubsetIsDeepCopy(t *testing.T) {
+	s := Generate(DefaultConfig(), 10, xrand.New(3))
+	sub := s.Subset([]int{0, 1})
+	sub.X.Data[0] = 42
+	sub.Y[0] = 1
+	if s.X.Data[0] == 42 {
+		t.Fatal("subset aliases parent storage")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	s := Generate(DefaultConfig(), 10, xrand.New(4))
+	head, tail := s.Split(3)
+	if head.Len() != 3 || tail.Len() != 7 {
+		t.Fatalf("split sizes %d/%d", head.Len(), tail.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if head.Y[i] != s.Y[i] {
+			t.Fatal("head rows wrong")
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if tail.Y[i] != s.Y[3+i] {
+			t.Fatal("tail rows wrong")
+		}
+	}
+}
+
+func TestPartitionIID(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LabelNoise = 0
+	s := Generate(cfg, 900, xrand.New(5))
+	parts := PartitionIID(s, 3, xrand.New(6))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		// Each IID shard should be roughly class-balanced.
+		for c, n := range p.ClassCounts() {
+			if n < 15 || n > 45 {
+				t.Errorf("shard class %d count %d far from 30", c, n)
+			}
+		}
+	}
+	if total != 900 {
+		t.Fatalf("partition lost samples: %d", total)
+	}
+}
+
+func TestPartitionDirichletCoversAll(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LabelNoise = 0
+	s := Generate(cfg, 600, xrand.New(7))
+	for _, alpha := range []float64{0.1, 1, 100} {
+		parts := PartitionDirichlet(s, 3, alpha, xrand.New(8))
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		if total != 600 {
+			t.Fatalf("alpha=%v: partition lost samples (%d)", alpha, total)
+		}
+	}
+}
+
+func TestPartitionDirichletSkewIncreasesAsAlphaShrinks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LabelNoise = 0
+	s := Generate(cfg, 2000, xrand.New(9))
+	skew := func(alpha float64) float64 {
+		parts := PartitionDirichlet(s, 4, alpha, xrand.New(10))
+		// Mean absolute deviation of class counts from perfectly even.
+		var dev float64
+		for _, p := range parts {
+			for _, n := range p.ClassCounts() {
+				dev += math.Abs(float64(n) - 50)
+			}
+		}
+		return dev
+	}
+	if skew(0.1) <= skew(100) {
+		t.Fatalf("Dirichlet skew: alpha=0.1 (%v) should exceed alpha=100 (%v)", skew(0.1), skew(100))
+	}
+}
+
+func TestPoisonLabelFlip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LabelNoise = 0
+	s := Generate(cfg, 1000, xrand.New(11))
+	poisoned := PoisonLabelFlip(s, 0.5, xrand.New(12))
+	flipped := 0
+	for i := range s.Y {
+		if s.Y[i] != poisoned.Y[i] {
+			flipped++
+			if poisoned.Y[i] != (s.Y[i]+1)%cfg.Classes {
+				t.Fatal("flip must rotate label by one")
+			}
+		}
+	}
+	if flipped < 400 || flipped > 600 {
+		t.Fatalf("flipped %d of 1000, want ~500", flipped)
+	}
+	// Full poison flips everything; zero poison flips nothing.
+	all := PoisonLabelFlip(s, 1, xrand.New(13))
+	for i := range all.Y {
+		if all.Y[i] != (s.Y[i]+1)%cfg.Classes {
+			t.Fatal("frac=1 must flip every label")
+		}
+	}
+	none := PoisonLabelFlip(s, 0, xrand.New(14))
+	for i := range none.Y {
+		if none.Y[i] != s.Y[i] {
+			t.Fatal("frac=0 must flip nothing")
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := xrand.New(15)
+	for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+		for trial := 0; trial < 20; trial++ {
+			v := dirichlet(rng, alpha, 5)
+			var sum float64
+			for _, x := range v {
+				if x < 0 {
+					t.Fatal("negative Dirichlet component")
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("alpha=%v: sum=%v", alpha, sum)
+			}
+		}
+	}
+}
+
+func TestGammaMeanMatchesShape(t *testing.T) {
+	rng := xrand.New(16)
+	for _, shape := range []float64{0.5, 1, 3} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += gamma(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.08*math.Max(1, shape) {
+			t.Errorf("gamma(%v) mean = %v", shape, mean)
+		}
+	}
+}

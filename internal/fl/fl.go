@@ -1,0 +1,194 @@
+// Package fl implements the federated-learning layer shared by the
+// centralized (Vanilla) and decentralized (blockchain-based) experiments:
+// model updates, FedAvg, the paper's model-combination enumeration, the
+// "consider" / "not consider" aggregation policies, and local client
+// training.
+package fl
+
+import (
+	"fmt"
+	"sort"
+
+	"waitornot/internal/dataset"
+	"waitornot/internal/nn"
+	"waitornot/internal/tensor"
+	"waitornot/internal/xrand"
+)
+
+// Update is one client's local model for one communication round.
+type Update struct {
+	// Client identifies the producer (paper: "A", "B", "C").
+	Client string
+	// Round is the communication round the update belongs to.
+	Round int
+	// Weights is the flat weight vector (see nn.Model.WeightVector).
+	Weights []float32
+	// NumSamples is the size of the client's training shard; FedAvg
+	// weights contributions by it.
+	NumSamples int
+}
+
+// FedAvg computes the sample-weighted average of the given updates'
+// weight vectors — McMahan et al.'s aggregation rule, the one the paper
+// uses. It returns an error if the updates are empty or have mismatched
+// lengths.
+func FedAvg(updates []*Update) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: FedAvg of zero updates")
+	}
+	n := len(updates[0].Weights)
+	total := 0
+	for _, u := range updates {
+		if len(u.Weights) != n {
+			return nil, fmt.Errorf("fl: update %q has %d weights, want %d", u.Client, len(u.Weights), n)
+		}
+		if u.NumSamples <= 0 {
+			return nil, fmt.Errorf("fl: update %q has non-positive sample count %d", u.Client, u.NumSamples)
+		}
+		total += u.NumSamples
+	}
+	out := make([]float32, n)
+	for _, u := range updates {
+		coef := float32(float64(u.NumSamples) / float64(total))
+		tensor.Axpy(coef, u.Weights, out)
+	}
+	return out, nil
+}
+
+// Combo is a set of client indices whose updates are aggregated together.
+type Combo []int
+
+// Label renders a combo using the clients' names, e.g. "A,B,C".
+func (c Combo) Label(names []string) string {
+	out := ""
+	for i, idx := range c {
+		if i > 0 {
+			out += ","
+		}
+		out += names[idx]
+	}
+	return out
+}
+
+// PaperCombos enumerates the model combinations the paper's decentralized
+// experiment evaluates from the perspective of client self among n
+// clients: the client's own model alone, every pair of clients, and the
+// full set. For n = 3 and self = A this yields exactly the five rows of
+// Table II: {A}, {A,B}, {A,C}, {B,C}, {A,B,C}.
+func PaperCombos(n, self int) []Combo {
+	if self < 0 || self >= n {
+		panic(fmt.Sprintf("fl: self %d out of [0,%d)", self, n))
+	}
+	var out []Combo
+	out = append(out, Combo{self})
+	// All pairs, those containing self first (matching table order).
+	var withSelf, withoutSelf []Combo
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pair := Combo{i, j}
+			if i == self || j == self {
+				withSelf = append(withSelf, pair)
+			} else {
+				withoutSelf = append(withoutSelf, pair)
+			}
+		}
+	}
+	out = append(out, withSelf...)
+	out = append(out, withoutSelf...)
+	if n > 2 {
+		all := make(Combo, n)
+		for i := range all {
+			all[i] = i
+		}
+		out = append(out, all)
+	}
+	return out
+}
+
+// AllCombos enumerates every non-empty subset of n clients (2^n - 1),
+// used by the exhaustive "consider" search at the Vanilla aggregator.
+func AllCombos(n int) []Combo {
+	var out []Combo
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var c Combo
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				c = append(c, i)
+			}
+		}
+		out = append(out, c)
+	}
+	// Deterministic, size-then-lexicographic order so ties break stably.
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) < len(out[b])
+		}
+		for i := range out[a] {
+			if out[a][i] != out[b][i] {
+				return out[a][i] < out[b][i]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Pick gathers the updates at the combo's indices.
+func (c Combo) Pick(updates []*Update) []*Update {
+	out := make([]*Update, len(c))
+	for i, idx := range c {
+		out[i] = updates[idx]
+	}
+	return out
+}
+
+// Evaluator scores a weight vector, typically classification accuracy on
+// a held-out selection set. Higher is better.
+type Evaluator func(weights []float32) float64
+
+// NewAccuracyEvaluator returns an Evaluator that loads weights into a
+// scratch model instance and reports accuracy on the given set. The
+// scratch model is reused across calls; the evaluator is not safe for
+// concurrent use.
+func NewAccuracyEvaluator(id nn.ModelID, s *dataset.Set) Evaluator {
+	scratch := id.Build(xrand.New(0))
+	return func(weights []float32) float64 {
+		if err := scratch.SetWeightVector(weights); err != nil {
+			panic(err)
+		}
+		return nn.Evaluate(scratch, s.X, s.Y, 64)
+	}
+}
+
+// ComboResult records one evaluated combination.
+type ComboResult struct {
+	Combo    Combo
+	Weights  []float32
+	Accuracy float64
+}
+
+// EvaluateCombos aggregates each combo with FedAvg and scores it with
+// eval, returning results in the combos' order.
+func EvaluateCombos(updates []*Update, combos []Combo, eval Evaluator) ([]ComboResult, error) {
+	out := make([]ComboResult, 0, len(combos))
+	for _, c := range combos {
+		w, err := FedAvg(c.Pick(updates))
+		if err != nil {
+			return nil, fmt.Errorf("fl: combo %v: %w", c, err)
+		}
+		out = append(out, ComboResult{Combo: c, Weights: w, Accuracy: eval(w)})
+	}
+	return out, nil
+}
+
+// BestCombo returns the highest-accuracy result; ties go to the earliest
+// (deterministic given the combo ordering). It panics on empty input.
+func BestCombo(results []ComboResult) ComboResult {
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Accuracy > best.Accuracy {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,283 @@
+package fl
+
+import (
+	"fmt"
+
+	"waitornot/internal/dataset"
+	"waitornot/internal/nn"
+	"waitornot/internal/xrand"
+)
+
+// AggregationMode selects the Vanilla aggregator's behaviour from the
+// paper: "not consider" averages every local update (plain FedAvg);
+// "consider" searches all model combinations on the aggregator's
+// selection set and adopts the best.
+type AggregationMode int
+
+// The two aggregation types of Table I / Figure 3.
+const (
+	ModeNotConsider AggregationMode = iota + 1
+	ModeConsider
+)
+
+// String implements fmt.Stringer.
+func (m AggregationMode) String() string {
+	switch m {
+	case ModeNotConsider:
+		return "not consider"
+	case ModeConsider:
+		return "consider"
+	default:
+		return fmt.Sprintf("AggregationMode(%d)", int(m))
+	}
+}
+
+// VanillaConfig parameterizes the centralized (Vanilla FL) experiment.
+type VanillaConfig struct {
+	// Model picks the architecture (paper: SimpleNN or EfficientNet-B0).
+	Model nn.ModelID
+	// Clients is the number of training devices (paper: 3).
+	Clients int
+	// Rounds is the number of communication rounds (paper: 10).
+	Rounds int
+	// Seed drives every random stream in the experiment.
+	Seed uint64
+	// Data is the synthetic data distribution; zero value means
+	// dataset.DefaultConfig.
+	Data dataset.Config
+	// TrainPerClient is each client's shard size.
+	TrainPerClient int
+	// SelectionSize is the aggregator's "default test set" size used by
+	// the consider policy.
+	SelectionSize int
+	// TestPerClient is each client's held-out test set size.
+	TestPerClient int
+	// DirichletAlpha > 0 partitions client shards non-IID with the
+	// given concentration; 0 means IID.
+	DirichletAlpha float64
+	// Hyper overrides local-training hyperparameters; zero value means
+	// DefaultHyper(Model).
+	Hyper Hyper
+	// Pretrain overrides the EffNetSim warm start; zero value means
+	// DefaultPretrain() for EffNetSim and no pretraining for SimpleNN.
+	Pretrain PretrainSpec
+}
+
+// withDefaults fills unset fields.
+func (c VanillaConfig) withDefaults() VanillaConfig {
+	if c.Model == 0 {
+		c.Model = nn.ModelSimpleNN
+	}
+	if c.Clients == 0 {
+		c.Clients = 3
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.Data.Classes == 0 {
+		c.Data = dataset.DefaultConfig()
+	}
+	if c.TrainPerClient == 0 {
+		c.TrainPerClient = 3000
+	}
+	if c.SelectionSize == 0 {
+		c.SelectionSize = 300
+	}
+	if c.TestPerClient == 0 {
+		c.TestPerClient = 800
+	}
+	if c.Hyper == (Hyper{}) {
+		c.Hyper = DefaultHyper(c.Model)
+	}
+	if c.Pretrain == (PretrainSpec{}) && c.Model == nn.ModelEffNetSim {
+		c.Pretrain = DefaultPretrain()
+	}
+	return c
+}
+
+// Validate rejects impossible configurations.
+func (c VanillaConfig) Validate() error {
+	c = c.withDefaults()
+	if !c.Model.Valid() {
+		return fmt.Errorf("fl: invalid model %v", c.Model)
+	}
+	if c.Clients < 2 {
+		return fmt.Errorf("fl: need at least 2 clients, got %d", c.Clients)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("fl: need at least 1 round, got %d", c.Rounds)
+	}
+	return c.Data.Validate()
+}
+
+// ArmResult is one aggregation arm's outcome: per-client, per-round test
+// accuracy plus the combos the consider policy chose.
+type ArmResult struct {
+	Mode AggregationMode
+	// Accuracy[client][round-1] is the aggregated model's accuracy on
+	// that client's test set after the given round.
+	Accuracy [][]float64
+	// ChosenCombos[round-1] labels the combination the aggregator
+	// adopted that round ("A,B,C" for not-consider always).
+	ChosenCombos []string
+}
+
+// VanillaResult is the complete Table I experiment output.
+type VanillaResult struct {
+	Config      VanillaConfig
+	ClientNames []string
+	Consider    *ArmResult
+	NotConsider *ArmResult
+}
+
+// ClientName returns the paper-style name of client i: "A", "B", ...
+func ClientName(i int) string {
+	if i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("P%d", i)
+}
+
+// environment is the data + initial weights shared by both arms.
+type environment struct {
+	cfg       VanillaConfig
+	shards    []*dataset.Set
+	selection *dataset.Set // the aggregator's "default test set"
+	tests     []*dataset.Set
+	initial   []float32
+}
+
+// setupEnvironment generates data and the (possibly pretrained) initial
+// global weights; both arms start from identical state.
+func setupEnvironment(cfg VanillaConfig) *environment {
+	root := xrand.New(cfg.Seed)
+	pool := dataset.Generate(cfg.Data, cfg.TrainPerClient*cfg.Clients, root.Derive("train-pool"))
+	var shards []*dataset.Set
+	if cfg.DirichletAlpha > 0 {
+		shards = dataset.PartitionDirichlet(pool, cfg.Clients, cfg.DirichletAlpha, root.Derive("partition"))
+	} else {
+		shards = dataset.PartitionIID(pool, cfg.Clients, root.Derive("partition"))
+	}
+	selection := dataset.Generate(cfg.Data, cfg.SelectionSize, root.Derive("selection"))
+	tests := make([]*dataset.Set, cfg.Clients)
+	for i := range tests {
+		tests[i] = dataset.Generate(cfg.Data, cfg.TestPerClient, root.Derive(fmt.Sprintf("test-%d", i)))
+	}
+	model := cfg.Model.Build(root.Derive("init"))
+	if cfg.Model == nn.ModelEffNetSim {
+		Pretrain(model, cfg.Data, cfg.Pretrain, root.Derive("pretrain"))
+	}
+	return &environment{
+		cfg:       cfg,
+		shards:    shards,
+		selection: selection,
+		tests:     tests,
+		initial:   model.WeightVector(),
+	}
+}
+
+// buildClients constructs fresh clients (fresh models, fresh RNG streams)
+// for one arm, all starting from the environment's initial weights.
+func (env *environment) buildClients(arm string) []*Client {
+	root := xrand.New(env.cfg.Seed)
+	clients := make([]*Client, env.cfg.Clients)
+	for i := range clients {
+		name := ClientName(i)
+		model := env.cfg.Model.Build(root.Derive("client-model-" + name))
+		c := NewClient(name, model, env.shards[i], env.selection, env.tests[i],
+			env.cfg.Hyper, root.Derive(fmt.Sprintf("arm-%s-client-%s", arm, name)))
+		if err := c.Adopt(env.initial); err != nil {
+			panic(err)
+		}
+		clients[i] = c
+	}
+	return clients
+}
+
+// runArm executes one aggregation arm of the Vanilla experiment.
+func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
+	cfg := env.cfg
+	clients := env.buildClients(mode.String())
+	// The aggregator's scratch evaluator for the consider search.
+	aggEval := NewAccuracyEvaluator(cfg.Model, env.selection)
+	combos := AllCombos(cfg.Clients)
+
+	res := &ArmResult{
+		Mode:         mode,
+		Accuracy:     make([][]float64, cfg.Clients),
+		ChosenCombos: make([]string, 0, cfg.Rounds),
+	}
+	for i := range res.Accuracy {
+		res.Accuracy[i] = make([]float64, 0, cfg.Rounds)
+	}
+	names := make([]string, cfg.Clients)
+	for i := range names {
+		names[i] = ClientName(i)
+	}
+
+	global := env.initial
+	for round := 1; round <= cfg.Rounds; round++ {
+		updates := make([]*Update, cfg.Clients)
+		for i, c := range clients {
+			if err := c.Adopt(global); err != nil {
+				return nil, err
+			}
+			updates[i] = c.LocalTrain(round)
+		}
+		switch mode {
+		case ModeNotConsider:
+			w, err := FedAvg(updates)
+			if err != nil {
+				return nil, err
+			}
+			global = w
+			all := make(Combo, cfg.Clients)
+			for i := range all {
+				all[i] = i
+			}
+			res.ChosenCombos = append(res.ChosenCombos, all.Label(names))
+		case ModeConsider:
+			results, err := EvaluateCombos(updates, combos, aggEval)
+			if err != nil {
+				return nil, err
+			}
+			best := BestCombo(results)
+			global = best.Weights
+			res.ChosenCombos = append(res.ChosenCombos, best.Combo.Label(names))
+		default:
+			return nil, fmt.Errorf("fl: unknown aggregation mode %v", mode)
+		}
+		for i, c := range clients {
+			res.Accuracy[i] = append(res.Accuracy[i], c.TestAccuracy(global))
+		}
+	}
+	return res, nil
+}
+
+// RunVanilla executes the full Table I experiment: both aggregation arms
+// over identical data and initial weights.
+func RunVanilla(cfg VanillaConfig) (*VanillaResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	env := setupEnvironment(cfg)
+	consider, err := env.runArm(ModeConsider)
+	if err != nil {
+		return nil, err
+	}
+	notConsider, err := env.runArm(ModeNotConsider)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, cfg.Clients)
+	for i := range names {
+		names[i] = ClientName(i)
+	}
+	return &VanillaResult{
+		Config:      cfg,
+		ClientNames: names,
+		Consider:    consider,
+		NotConsider: notConsider,
+	}, nil
+}

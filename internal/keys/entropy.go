@@ -1,0 +1,36 @@
+package keys
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"math/big"
+
+	"waitornot/internal/xrand"
+)
+
+// GenerateDeterministic derives a key pair purely from a 64-bit seed, for
+// reproducible experiment identities. Unlike passing a seeded reader to
+// ecdsa.GenerateKey (whose consumption pattern is unspecified and changes
+// between Go releases), this derives the private scalar directly:
+// d = (stream mod N-1) + 1.
+//
+// Not for production use — the key space is only 2^64.
+func GenerateDeterministic(seed uint64) *Key {
+	rng := xrand.New(seed)
+	curve := elliptic.P256()
+	// 40 bytes of stream > 32-byte order, so the modulo bias is ~2^-64.
+	buf := make([]byte, 40)
+	for i := range buf {
+		buf[i] = byte(rng.Uint64())
+	}
+	nMinus1 := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	d := new(big.Int).SetBytes(buf)
+	d.Mod(d, nMinus1)
+	d.Add(d, big.NewInt(1))
+
+	priv := new(ecdsa.PrivateKey)
+	priv.Curve = curve
+	priv.D = d
+	priv.PublicKey.X, priv.PublicKey.Y = curve.ScalarBaseMult(d.Bytes())
+	return fromPrivate(priv)
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Weight-blob wire format (little endian):
+//
+//	magic   [4]byte  "WFLW"
+//	version uint16   1
+//	count   uint32   number of float32 weights
+//	data    count * 4 bytes
+//	crc32   uint32   IEEE CRC of everything above
+//
+// This is the payload carried in on-chain model-submission transactions,
+// so it must be deterministic byte-for-byte for identical weights.
+const (
+	weightMagic   = "WFLW"
+	weightVersion = 1
+	weightHeader  = 4 + 2 + 4
+)
+
+// ErrCorruptWeights is returned when a weight blob fails structural or
+// checksum validation.
+var ErrCorruptWeights = errors.New("nn: corrupt weight blob")
+
+// EncodeWeights serializes a flat weight vector to the wire format.
+func EncodeWeights(w []float32) []byte {
+	out := make([]byte, weightHeader+4*len(w)+4)
+	copy(out, weightMagic)
+	binary.LittleEndian.PutUint16(out[4:], weightVersion)
+	binary.LittleEndian.PutUint32(out[6:], uint32(len(w)))
+	for i, v := range w {
+		binary.LittleEndian.PutUint32(out[weightHeader+4*i:], math.Float32bits(v))
+	}
+	sum := crc32.ChecksumIEEE(out[:weightHeader+4*len(w)])
+	binary.LittleEndian.PutUint32(out[weightHeader+4*len(w):], sum)
+	return out
+}
+
+// DecodeWeights parses a blob produced by EncodeWeights, validating the
+// magic, version, length, and checksum.
+func DecodeWeights(b []byte) ([]float32, error) {
+	if len(b) < weightHeader+4 {
+		return nil, fmt.Errorf("%w: blob too short (%d bytes)", ErrCorruptWeights, len(b))
+	}
+	if string(b[:4]) != weightMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptWeights)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != weightVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptWeights, v)
+	}
+	count := int(binary.LittleEndian.Uint32(b[6:]))
+	if len(b) != weightHeader+4*count+4 {
+		return nil, fmt.Errorf("%w: length %d does not match count %d", ErrCorruptWeights, len(b), count)
+	}
+	want := binary.LittleEndian.Uint32(b[weightHeader+4*count:])
+	if got := crc32.ChecksumIEEE(b[:weightHeader+4*count]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptWeights)
+	}
+	w := make([]float32, count)
+	for i := range w {
+		w[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[weightHeader+4*i:]))
+	}
+	return w, nil
+}
+
+// EncodedSize returns the wire size in bytes of a weight vector of n
+// parameters, without encoding it.
+func EncodedSize(n int) int { return weightHeader + 4*n + 4 }

@@ -1,0 +1,49 @@
+package nn
+
+import "waitornot/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and L2
+// weight decay. The zero value is unusable; use NewSGD.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum in [0,1); 0 disables the velocity term.
+	Momentum float64
+	// WeightDecay is the L2 coefficient applied to weights each step.
+	WeightDecay float64
+
+	velocity [][]float32
+}
+
+// NewSGD builds an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step applies one update to params given grads (aligned slices, as
+// returned by Model.Params and Model.Grads) and zeroes the gradients.
+func (s *SGD) Step(params, grads []*tensor.Dense) {
+	if s.velocity == nil {
+		s.velocity = make([][]float32, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float32, len(p.Data))
+		}
+	}
+	lr := float32(s.LR)
+	mu := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for i, p := range params {
+		g := grads[i]
+		v := s.velocity[i]
+		for j := range p.Data {
+			gj := g.Data[j] + wd*p.Data[j]
+			v[j] = mu*v[j] - lr*gj
+			p.Data[j] += v[j]
+			g.Data[j] = 0
+		}
+	}
+}
+
+// Reset clears momentum state (used when a client adopts a new
+// aggregated model between rounds).
+func (s *SGD) Reset() { s.velocity = nil }

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+
+	"waitornot/internal/tensor"
+	"waitornot/internal/xrand"
+)
+
+// TrainEpoch runs one epoch of minibatch SGD over (xs, ys), shuffling
+// with rng, and returns the mean loss. xs has one sample per row; ys are
+// integer labels aligned with xs rows.
+func TrainEpoch(m *Model, opt *SGD, xs *tensor.Dense, ys []int, batchSize int, rng *xrand.RNG) float64 {
+	n := xs.Rows
+	if n != len(ys) {
+		panic(fmt.Sprintf("nn: %d samples vs %d labels", n, len(ys)))
+	}
+	if batchSize <= 0 {
+		panic("nn: non-positive batch size")
+	}
+	perm := rng.Perm(n)
+	batchX := tensor.New(batchSize, xs.Cols)
+	batchY := make([]int, batchSize)
+	var totalLoss float64
+	batches := 0
+	for start := 0; start+batchSize <= n; start += batchSize {
+		for bi := 0; bi < batchSize; bi++ {
+			src := perm[start+bi]
+			copy(batchX.Row(bi), xs.Row(src))
+			batchY[bi] = ys[src]
+		}
+		logits := m.Forward(batchX, true)
+		loss, grad := SoftmaxCrossEntropy(logits, batchY)
+		m.Backward(grad)
+		opt.Step(m.Params(), m.Grads())
+		totalLoss += loss
+		batches++
+	}
+	if batches == 0 {
+		return 0
+	}
+	return totalLoss / float64(batches)
+}
+
+// Evaluate returns classification accuracy of m over (xs, ys), streaming
+// in batches of batchSize to bound memory.
+func Evaluate(m *Model, xs *tensor.Dense, ys []int, batchSize int) float64 {
+	n := xs.Rows
+	if n == 0 {
+		return 0
+	}
+	if batchSize <= 0 || batchSize > n {
+		batchSize = n
+	}
+	correct := 0
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		view := tensor.FromSlice(end-start, xs.Cols, xs.Data[start*xs.Cols:end*xs.Cols])
+		preds := m.Predict(view)
+		for i, p := range preds {
+			if p == ys[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}

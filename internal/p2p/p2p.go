@@ -1,0 +1,247 @@
+// Package p2p is the in-memory gossip network the blockchain peers
+// communicate over. It models what the experiment needs from a network —
+// broadcast with configurable latency/jitter, message loss, duplication,
+// and partitions — while staying deterministic under a seed and cheap
+// enough to run hundreds of peers in-process.
+//
+// It replaces the paper's three-VM LAN; absolute latencies differ but
+// the asynchrony and loss modes that drive the paper's wait-or-not
+// question are all reproducible.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waitornot/internal/xrand"
+)
+
+// MessageKind tags gossip payloads.
+type MessageKind int
+
+// The gossip message kinds.
+const (
+	KindTx MessageKind = iota + 1
+	KindBlock
+	// KindBlockRequest asks a peer for a block by hash (ancestor
+	// backfill after partitions).
+	KindBlockRequest
+)
+
+// String implements fmt.Stringer.
+func (k MessageKind) String() string {
+	switch k {
+	case KindTx:
+		return "tx"
+	case KindBlock:
+		return "block"
+	case KindBlockRequest:
+		return "block-request"
+	default:
+		return fmt.Sprintf("MessageKind(%d)", int(k))
+	}
+}
+
+// Message is one delivered gossip datagram. Payload is shared by
+// reference across recipients and must be treated as immutable.
+type Message struct {
+	From    string
+	Kind    MessageKind
+	Payload any
+	// Size is the simulated wire size in bytes (drives bandwidth
+	// accounting and the per-byte latency model).
+	Size int
+}
+
+// Config shapes network behaviour.
+type Config struct {
+	// BaseLatency is the fixed one-way delay.
+	BaseLatency time.Duration
+	// Jitter adds a uniform [0, Jitter) component per delivery.
+	Jitter time.Duration
+	// PerKB adds bandwidth-proportional delay per 1024 payload bytes.
+	PerKB time.Duration
+	// DropRate is the probability a delivery is lost.
+	DropRate float64
+	// DuplicateRate is the probability a delivery arrives twice.
+	DuplicateRate float64
+	// Seed drives the network's randomness.
+	Seed uint64
+	// InboxSize bounds each node's queue (default 4096). When full,
+	// deliveries are dropped and counted — backpressure by loss, like
+	// UDP gossip.
+	InboxSize int
+}
+
+// Network is the hub all nodes attach to. Safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *xrand.RNG
+	nodes     map[string]*Node
+	partition map[string]int // group per node; absent = group 0
+	closed    bool
+
+	wg sync.WaitGroup
+
+	// Stats (atomic).
+	delivered atomic.Int64
+	dropped   atomic.Int64
+	bytesSent atomic.Int64
+}
+
+// NewNetwork builds a network hub.
+func NewNetwork(cfg Config) *Network {
+	if cfg.InboxSize == 0 {
+		cfg.InboxSize = 4096
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       xrand.New(cfg.Seed).Derive("p2p"),
+		nodes:     make(map[string]*Node),
+		partition: make(map[string]int),
+	}
+}
+
+// ErrDuplicateNode is returned when an id joins twice.
+var ErrDuplicateNode = errors.New("p2p: node id already joined")
+
+// ErrUnknownNode is returned for sends to absent ids.
+var ErrUnknownNode = errors.New("p2p: unknown node")
+
+// Node is one endpoint's handle.
+type Node struct {
+	ID  string
+	net *Network
+
+	inbox chan Message
+}
+
+// Join attaches a new node.
+func (n *Network) Join(id string) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	nd := &Node{ID: id, net: n, inbox: make(chan Message, n.cfg.InboxSize)}
+	n.nodes[id] = nd
+	return nd, nil
+}
+
+// SetPartition assigns nodes to partition groups; nodes in different
+// groups cannot exchange messages until Heal. Unlisted nodes are group 0.
+func (n *Network) SetPartition(groups map[string]int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int, len(groups))
+	for id, g := range groups {
+		n.partition[id] = g
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.SetPartition(nil) }
+
+// Close stops future deliveries and waits for in-flight ones.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Stats reports delivered message count, dropped count, and bytes sent.
+func (n *Network) Stats() (delivered, dropped, bytes int64) {
+	return n.delivered.Load(), n.dropped.Load(), n.bytesSent.Load()
+}
+
+// Inbox returns the node's delivery channel.
+func (nd *Node) Inbox() <-chan Message { return nd.inbox }
+
+// Broadcast gossips a payload to every other node.
+func (nd *Node) Broadcast(kind MessageKind, payload any, size int) {
+	nd.net.deliver(nd.ID, "", kind, payload, size)
+}
+
+// Send delivers to a single peer.
+func (nd *Node) Send(to string, kind MessageKind, payload any, size int) error {
+	nd.net.mu.Lock()
+	_, ok := nd.net.nodes[to]
+	nd.net.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	nd.net.deliver(nd.ID, to, kind, payload, size)
+	return nil
+}
+
+// deliver schedules the message to `to`, or to everyone but the sender
+// when to == "".
+func (n *Network) deliver(from, to string, kind MessageKind, payload any, size int) {
+	msg := Message{From: from, Kind: kind, Payload: payload, Size: size}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	fromGroup := n.partition[from]
+	for id, node := range n.nodes {
+		if id == from || (to != "" && id != to) {
+			continue
+		}
+		if n.partition[id] != fromGroup {
+			n.dropped.Add(1)
+			continue
+		}
+		copies := 1
+		if n.cfg.DropRate > 0 && n.rng.Bool(n.cfg.DropRate) {
+			n.dropped.Add(1)
+			continue
+		}
+		if n.cfg.DuplicateRate > 0 && n.rng.Bool(n.cfg.DuplicateRate) {
+			copies = 2
+		}
+		for c := 0; c < copies; c++ {
+			delay := n.cfg.BaseLatency
+			if n.cfg.Jitter > 0 {
+				delay += time.Duration(n.rng.Float64() * float64(n.cfg.Jitter))
+			}
+			if n.cfg.PerKB > 0 {
+				delay += time.Duration(size/1024) * n.cfg.PerKB
+			}
+			n.bytesSent.Add(int64(size))
+			n.scheduleLocked(node, msg, delay)
+		}
+	}
+}
+
+// scheduleLocked queues an async delivery after delay.
+func (n *Network) scheduleLocked(node *Node, msg Message, delay time.Duration) {
+	n.wg.Add(1)
+	deliver := func() {
+		defer n.wg.Done()
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			n.dropped.Add(1)
+			return
+		}
+		select {
+		case node.inbox <- msg:
+			n.delivered.Add(1)
+		default:
+			n.dropped.Add(1) // inbox full: gossip loss under backpressure
+		}
+	}
+	if delay <= 0 {
+		go deliver()
+		return
+	}
+	time.AfterFunc(delay, deliver)
+}

@@ -1,0 +1,224 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recv waits up to timeout for one message.
+func recv(t *testing.T, nd *Node, timeout time.Duration) (Message, bool) {
+	t.Helper()
+	select {
+	case m := <-nd.Inbox():
+		return m, true
+	case <-time.After(timeout):
+		return Message{}, false
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	net := NewNetwork(Config{Seed: 1})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	c, _ := net.Join("C")
+
+	a.Broadcast(KindTx, "hello", 100)
+	for _, nd := range []*Node{b, c} {
+		m, ok := recv(t, nd, time.Second)
+		if !ok {
+			t.Fatalf("%s did not receive", nd.ID)
+		}
+		if m.From != "A" || m.Kind != KindTx || m.Payload.(string) != "hello" || m.Size != 100 {
+			t.Fatalf("message = %+v", m)
+		}
+	}
+	select {
+	case m := <-a.Inbox():
+		t.Fatalf("sender received its own broadcast: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSendTargetsOnePeer(t *testing.T) {
+	net := NewNetwork(Config{Seed: 2})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	c, _ := net.Join("C")
+
+	if err := a.Send("B", KindBlock, 42, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := recv(t, b, time.Second); !ok {
+		t.Fatal("B did not receive")
+	}
+	select {
+	case <-c.Inbox():
+		t.Fatal("C received a unicast not addressed to it")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := a.Send("nope", KindBlock, 1, 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node send: %v", err)
+	}
+}
+
+func TestDuplicateJoinRejected(t *testing.T) {
+	net := NewNetwork(Config{Seed: 3})
+	defer net.Close()
+	if _, err := net.Join("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join("A"); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+}
+
+func TestDropRateLosesRoughlyThatFraction(t *testing.T) {
+	net := NewNetwork(Config{Seed: 4, DropRate: 0.5})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		a.Send("B", KindTx, i, 1)
+	}
+	// Drain with a short grace period.
+	got := 0
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case <-b.Inbox():
+			got++
+		case <-deadline:
+			goto done
+		default:
+			if got > 0 {
+				// allow sends to finish
+			}
+			time.Sleep(time.Millisecond)
+			select {
+			case <-b.Inbox():
+				got++
+			case <-time.After(100 * time.Millisecond):
+				goto done
+			}
+		}
+	}
+done:
+	frac := float64(got) / n
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("delivered fraction %v, want ~0.5", frac)
+	}
+	delivered, dropped, _ := net.Stats()
+	if delivered != int64(got) {
+		t.Fatalf("stats delivered %d, got %d", delivered, got)
+	}
+	if dropped == 0 {
+		t.Fatal("drops not counted")
+	}
+}
+
+func TestDuplicateRateDeliversExtras(t *testing.T) {
+	net := NewNetwork(Config{Seed: 5, DuplicateRate: 1.0})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	a.Send("B", KindTx, "x", 1)
+	if _, ok := recv(t, b, time.Second); !ok {
+		t.Fatal("first copy missing")
+	}
+	if _, ok := recv(t, b, time.Second); !ok {
+		t.Fatal("duplicate copy missing")
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	net := NewNetwork(Config{Seed: 6})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+
+	net.SetPartition(map[string]int{"A": 0, "B": 1})
+	a.Broadcast(KindTx, "lost", 1)
+	select {
+	case <-b.Inbox():
+		t.Fatal("message crossed a partition")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	net.Heal()
+	a.Broadcast(KindTx, "found", 1)
+	m, ok := recv(t, b, time.Second)
+	if !ok || m.Payload.(string) != "found" {
+		t.Fatal("message lost after heal")
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	net := NewNetwork(Config{Seed: 7, BaseLatency: 80 * time.Millisecond})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	start := time.Now()
+	a.Send("B", KindTx, "slow", 1)
+	if _, ok := recv(t, b, time.Second); !ok {
+		t.Fatal("not delivered")
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~80ms", elapsed)
+	}
+}
+
+func TestPerKBLatencyScalesWithSize(t *testing.T) {
+	net := NewNetwork(Config{Seed: 8, PerKB: 10 * time.Millisecond})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	start := time.Now()
+	a.Send("B", KindTx, "big", 10*1024) // 10 KB -> ~100ms
+	if _, ok := recv(t, b, 2*time.Second); !ok {
+		t.Fatal("not delivered")
+	}
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Fatalf("large payload delivered after %v, want bandwidth delay", elapsed)
+	}
+}
+
+func TestCloseStopsDeliveries(t *testing.T) {
+	net := NewNetwork(Config{Seed: 9, BaseLatency: 50 * time.Millisecond})
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	a.Send("B", KindTx, "late", 1)
+	net.Close() // waits for in-flight; late message is dropped or delivered, never hangs
+	select {
+	case <-b.Inbox():
+	default:
+	}
+	// Sends after close are no-ops.
+	a.Broadcast(KindTx, "post-close", 1)
+}
+
+func TestInboxOverflowCountsAsDropped(t *testing.T) {
+	net := NewNetwork(Config{Seed: 10, InboxSize: 1})
+	defer net.Close()
+	a, _ := net.Join("A")
+	net.Join("B")
+	for i := 0; i < 50; i++ {
+		a.Send("B", KindTx, i, 1)
+	}
+	// B never drains; most deliveries overflow.
+	time.Sleep(100 * time.Millisecond)
+	_, dropped, _ := net.Stats()
+	if dropped == 0 {
+		t.Fatal("overflow must count as drops")
+	}
+}
+
+func TestMessageKindString(t *testing.T) {
+	if KindTx.String() != "tx" || KindBlock.String() != "block" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,340 @@
+// Package simnet is a deterministic discrete-event simulator for the
+// blockchain performance questions the paper leans on (§II-A2): how
+// throughput scales with participant count on a resource-shared testbed,
+// how block capacity bounds throughput, how long aggregation rounds wait
+// under different wait policies, and the "age of block" freshness metric
+// from the related work it cites.
+//
+// Absolute milliseconds are not the point — the testbed is gone — but
+// the shapes (halving throughput when peers double on one host, the
+// capacity knee, the sync-vs-async wait gap) are reproduced from the
+// same mechanisms the paper's setup had: N virtual machines sharing one
+// physical host's compute, and per-byte gas limiting block capacity.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"waitornot/internal/core"
+	"waitornot/internal/xrand"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  float64 // ms
+	seq int     // tie-break for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// Sim is a virtual clock with an event queue.
+type Sim struct {
+	now float64
+	pq  eventHeap
+	seq int
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in ms.
+func (s *Sim) Now() float64 { return s.now }
+
+// After schedules fn delay ms from now. Negative delays run "now".
+func (s *Sim) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue empties or the clock passes
+// until (ms). Events scheduled at exactly until still run.
+func (s *Sim) Run(until float64) {
+	for s.pq.Len() > 0 {
+		if s.pq.Peek().at > until {
+			return
+		}
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// ThroughputConfig parameterizes the shared-host blockchain model.
+type ThroughputConfig struct {
+	// Peers is the number of blockchain nodes co-located on one host
+	// (the paper's VirtualBox setup: more peers = thinner CPU slices).
+	Peers int
+	// TxExecMs is the single-core execution+validation cost of one
+	// transaction.
+	TxExecMs float64
+	// HostCores is the physical parallelism shared by all peers.
+	HostCores float64
+	// BlockIntervalMs is the mean sealing interval.
+	BlockIntervalMs float64
+	// BlockGasLimit and TxGas bound how many txs fit a block.
+	BlockGasLimit uint64
+	TxGas         uint64
+	// OfferedTxPerSec is the client load.
+	OfferedTxPerSec float64
+	// DurationMs is the simulated horizon.
+	DurationMs float64
+	// Seed drives arrival/sealing jitter.
+	Seed uint64
+}
+
+// Throughput is one simulated operating point.
+type Throughput struct {
+	Peers           int
+	CommittedPerSec float64
+	MeanLatencyMs   float64 // submission -> commitment
+	Blocks          int
+}
+
+// SimulateThroughput runs the shared-host model: transactions arrive
+// Poisson at the offered rate, every peer must execute every
+// transaction before it counts as validated (CPU share = HostCores /
+// Peers), and a leader seals up to the block's gas capacity from the
+// validated queue at exponential intervals.
+func SimulateThroughput(cfg ThroughputConfig) Throughput {
+	if cfg.Peers <= 0 || cfg.TxExecMs <= 0 || cfg.BlockIntervalMs <= 0 || cfg.TxGas == 0 {
+		panic(fmt.Sprintf("simnet: bad throughput config %+v", cfg))
+	}
+	rng := xrand.New(cfg.Seed).Derive("throughput")
+	sim := NewSim()
+
+	// Validation: each peer re-executes every tx; peers progress at
+	// HostCores/Peers of a core. The slowest peer gates inclusion, and
+	// with identical peers that is simply the shared-rate pipeline:
+	// service time per tx = TxExecMs * Peers / HostCores.
+	serviceMs := cfg.TxExecMs * float64(cfg.Peers) / cfg.HostCores
+
+	type txRec struct{ submitted float64 }
+	var (
+		validated   []txRec // FIFO awaiting inclusion
+		queueBusyAt float64 // when the validation pipeline frees up
+		committed   int
+		latencySum  float64
+		blocks      int
+	)
+	capacity := int(cfg.BlockGasLimit / cfg.TxGas)
+
+	// Poisson arrivals.
+	var arrive func()
+	interArrivalMs := 1000.0 / cfg.OfferedTxPerSec
+	arrive = func() {
+		t := txRec{submitted: sim.Now()}
+		// Tx enters the validation pipeline (single shared queue).
+		start := sim.Now()
+		if queueBusyAt > start {
+			start = queueBusyAt
+		}
+		finish := start + serviceMs
+		queueBusyAt = finish
+		sim.After(finish-sim.Now(), func() {
+			validated = append(validated, t)
+		})
+		sim.After(rng.ExpFloat64()*interArrivalMs, arrive)
+	}
+	sim.After(rng.ExpFloat64()*interArrivalMs, arrive)
+
+	// Block sealing.
+	var seal func()
+	seal = func() {
+		n := len(validated)
+		if n > capacity {
+			n = capacity
+		}
+		for _, t := range validated[:n] {
+			latencySum += sim.Now() - t.submitted
+			committed++
+		}
+		validated = validated[n:]
+		blocks++
+		sim.After(rng.ExpFloat64()*cfg.BlockIntervalMs, seal)
+	}
+	sim.After(rng.ExpFloat64()*cfg.BlockIntervalMs, seal)
+
+	sim.Run(cfg.DurationMs)
+
+	out := Throughput{Peers: cfg.Peers, Blocks: blocks}
+	out.CommittedPerSec = float64(committed) / (cfg.DurationMs / 1000)
+	if committed > 0 {
+		out.MeanLatencyMs = latencySum / float64(committed)
+	}
+	return out
+}
+
+// SweepPeers runs SimulateThroughput over several peer counts
+// (everything else fixed) — the VFChain-style scaling experiment.
+func SweepPeers(base ThroughputConfig, peerCounts []int) []Throughput {
+	out := make([]Throughput, 0, len(peerCounts))
+	for _, n := range peerCounts {
+		cfg := base
+		cfg.Peers = n
+		out = append(out, SimulateThroughput(cfg))
+	}
+	return out
+}
+
+// SweepBlockGas runs SimulateThroughput over several block gas limits —
+// the block-capacity experiment (refs [11], [12]).
+func SweepBlockGas(base ThroughputConfig, limits []uint64) []Throughput {
+	out := make([]Throughput, 0, len(limits))
+	for _, l := range limits {
+		cfg := base
+		cfg.BlockGasLimit = l
+		out = append(out, SimulateThroughput(cfg))
+	}
+	return out
+}
+
+// RoundConfig parameterizes the aggregation-round latency model.
+type RoundConfig struct {
+	// Peers is the participant count.
+	Peers int
+	// MeanTrainMs and TrainJitter (fraction) shape per-peer training
+	// durations: d = MeanTrainMs * (1 +- uniform(TrainJitter)).
+	MeanTrainMs float64
+	TrainJitter float64
+	// StragglerFactor multiplies one designated straggler's duration
+	// (1.0 = none).
+	StragglerFactor float64
+	// BlockIntervalMs quantizes visibility: an update becomes visible
+	// to others at the next block boundary after it is submitted.
+	BlockIntervalMs float64
+	// NetworkMs is the submission propagation delay.
+	NetworkMs float64
+	// Rounds is how many independent rounds to simulate.
+	Rounds int
+	// Seed drives the jitter.
+	Seed uint64
+}
+
+// RoundStats aggregates simulated rounds for one policy.
+type RoundStats struct {
+	Policy string
+	// MeanWaitMs is the mean time from round start until the policy
+	// fires at the observing peer.
+	MeanWaitMs float64
+	// MeanIncluded is the mean number of models aggregated.
+	MeanIncluded float64
+	// MeanAgeMs is the mean "age of block" of included updates: how
+	// stale an update is (visibility time minus its training
+	// completion) when aggregation happens.
+	MeanAgeMs float64
+}
+
+// SimulateRounds measures aggregation wait time under a wait policy,
+// from peer 0's perspective, over many simulated rounds.
+func SimulateRounds(cfg RoundConfig, policy core.WaitPolicy) RoundStats {
+	if cfg.Peers <= 0 || cfg.Rounds <= 0 || cfg.MeanTrainMs <= 0 {
+		panic(fmt.Sprintf("simnet: bad round config %+v", cfg))
+	}
+	if cfg.StragglerFactor <= 0 {
+		cfg.StragglerFactor = 1
+	}
+	rng := xrand.New(cfg.Seed).Derive("rounds")
+	var waitSum, includedSum, ageSum float64
+	var ageCount int
+	for r := 0; r < cfg.Rounds; r++ {
+		// Training completion per peer.
+		complete := make([]float64, cfg.Peers)
+		for i := range complete {
+			jitter := 1 + cfg.TrainJitter*(2*rng.Float64()-1)
+			complete[i] = cfg.MeanTrainMs * jitter
+			if i == cfg.Peers-1 {
+				complete[i] *= cfg.StragglerFactor
+			}
+		}
+		// Visibility at the observer: own model at completion; others
+		// at the first block boundary after completion + network.
+		visible := make([]float64, cfg.Peers)
+		for i := range visible {
+			if i == 0 {
+				visible[i] = complete[i]
+				continue
+			}
+			submitted := complete[i] + cfg.NetworkMs
+			if cfg.BlockIntervalMs > 0 {
+				k := int(submitted/cfg.BlockIntervalMs) + 1
+				visible[i] = float64(k) * cfg.BlockIntervalMs
+			} else {
+				visible[i] = submitted
+			}
+		}
+		// Walk visibility order; fire when the policy says so (but not
+		// before our own model exists).
+		order := sortedIdx(visible)
+		included := 0
+		fired := false
+		var fireAt float64
+		haveSelf := false
+		for _, idx := range order {
+			included++
+			if idx == 0 {
+				haveSelf = true
+			}
+			if !haveSelf {
+				continue
+			}
+			if policy.Ready(included, cfg.Peers, time.Duration(visible[idx]*float64(time.Millisecond))) {
+				fireAt = visible[idx]
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			included = cfg.Peers
+			fireAt = visible[order[cfg.Peers-1]]
+		}
+		waitSum += fireAt
+		includedSum += float64(included)
+		for _, idx := range order[:included] {
+			ageSum += fireAt - complete[idx]
+			ageCount++
+		}
+	}
+	out := RoundStats{
+		Policy:       policy.Name(),
+		MeanWaitMs:   waitSum / float64(cfg.Rounds),
+		MeanIncluded: includedSum / float64(cfg.Rounds),
+	}
+	if ageCount > 0 {
+		out.MeanAgeMs = ageSum / float64(ageCount)
+	}
+	return out
+}
+
+// sortedIdx returns indices of v in ascending value order (stable).
+func sortedIdx(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && (v[idx[j]] < v[idx[j-1]] || (v[idx[j]] == v[idx[j-1]] && idx[j] < idx[j-1])); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

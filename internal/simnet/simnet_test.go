@@ -1,0 +1,232 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"waitornot/internal/core"
+)
+
+func TestSimRunsEventsInOrder(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(30, func() { got = append(got, 3) })
+	s.After(10, func() { got = append(got, 1) })
+	s.After(20, func() { got = append(got, 2) })
+	s.Run(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSimTieBreakDeterministic(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(5, func() { got = append(got, 1) })
+	s.After(5, func() { got = append(got, 2) })
+	s.Run(10)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ties must run in scheduling order: %v", got)
+	}
+}
+
+func TestSimRunStopsAtHorizon(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.After(50, func() { fired = true })
+	s.Run(40)
+	if fired {
+		t.Fatal("event past horizon ran")
+	}
+	s.Run(60)
+	if !fired {
+		t.Fatal("event within extended horizon did not run")
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(10, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run(1000)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func baseThroughput() ThroughputConfig {
+	// Validation (not block capacity) is the binding constraint across
+	// the peer sweep: capacity = HostCores/(TxExecMs*Peers) = 250/s at
+	// 4 peers, while blocks fit 1000 tx/s.
+	return ThroughputConfig{
+		Peers:           4,
+		TxExecMs:        2,
+		HostCores:       2,
+		BlockIntervalMs: 1000,
+		BlockGasLimit:   100_000_000,
+		TxGas:           100_000,
+		OfferedTxPerSec: 400,
+		DurationMs:      60_000,
+		Seed:            1,
+	}
+}
+
+func TestThroughputHalvesWhenPeersDouble(t *testing.T) {
+	// The paper's §II-A2 premise (VFChain): on a shared host, doubling
+	// participants roughly halves throughput. In the saturated regime
+	// the pipeline rate is HostCores/(TxExecMs*Peers), so the ratio
+	// should be ~2x.
+	pts := SweepPeers(baseThroughput(), []int{4, 8, 16})
+	if pts[0].CommittedPerSec <= pts[1].CommittedPerSec || pts[1].CommittedPerSec <= pts[2].CommittedPerSec {
+		t.Fatalf("throughput not decreasing: %+v", pts)
+	}
+	r1 := pts[0].CommittedPerSec / pts[1].CommittedPerSec
+	r2 := pts[1].CommittedPerSec / pts[2].CommittedPerSec
+	for _, r := range []float64{r1, r2} {
+		if r < 1.6 || r > 2.4 {
+			t.Fatalf("halving ratio %v out of [1.6, 2.4] (points %+v)", r, pts)
+		}
+	}
+	// Execution (commit) latency grows with peers.
+	if !(pts[0].MeanLatencyMs < pts[1].MeanLatencyMs && pts[1].MeanLatencyMs < pts[2].MeanLatencyMs) {
+		t.Fatalf("latency not increasing: %+v", pts)
+	}
+}
+
+func TestThroughputBoundedByBlockCapacity(t *testing.T) {
+	cfg := baseThroughput()
+	cfg.Peers = 1
+	cfg.TxExecMs = 0.1 // validation is not the bottleneck
+	// Capacity 10 tx/block at 1 block/s -> ~10 tx/s despite 400 offered.
+	pts := SweepBlockGas(cfg, []uint64{1_000_000, 10_000_000, 100_000_000})
+	if pts[0].CommittedPerSec > 12 {
+		t.Fatalf("tiny blocks commit %v tx/s, expected <= ~10", pts[0].CommittedPerSec)
+	}
+	if pts[1].CommittedPerSec < pts[0].CommittedPerSec {
+		t.Fatalf("bigger blocks slower: %+v", pts)
+	}
+	// Huge blocks saturate at the offered rate.
+	if pts[2].CommittedPerSec < 300 {
+		t.Fatalf("unbounded blocks commit %v tx/s, want near offered 400", pts[2].CommittedPerSec)
+	}
+}
+
+func TestThroughputDeterministic(t *testing.T) {
+	a := SimulateThroughput(baseThroughput())
+	b := SimulateThroughput(baseThroughput())
+	if a != b {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func baseRound() RoundConfig {
+	return RoundConfig{
+		Peers:           8,
+		MeanTrainMs:     5000,
+		TrainJitter:     0.3,
+		StragglerFactor: 3,
+		BlockIntervalMs: 500,
+		NetworkMs:       50,
+		Rounds:          500,
+		Seed:            7,
+	}
+}
+
+func TestFirstKWaitsLessThanWaitAll(t *testing.T) {
+	cfg := baseRound()
+	all := SimulateRounds(cfg, core.WaitAll{})
+	half := SimulateRounds(cfg, core.FirstK{K: 4})
+	if half.MeanWaitMs >= all.MeanWaitMs {
+		t.Fatalf("first-4 wait %v >= wait-all %v", half.MeanWaitMs, all.MeanWaitMs)
+	}
+	if half.MeanIncluded >= all.MeanIncluded {
+		t.Fatalf("first-4 included %v >= wait-all %v", half.MeanIncluded, all.MeanIncluded)
+	}
+	if all.MeanIncluded != float64(cfg.Peers) {
+		t.Fatalf("wait-all must include everyone, got %v", all.MeanIncluded)
+	}
+	// With a 3x straggler, skipping it saves a large fraction.
+	if half.MeanWaitMs > 0.75*all.MeanWaitMs {
+		t.Fatalf("asynchronous saving too small: %v vs %v", half.MeanWaitMs, all.MeanWaitMs)
+	}
+}
+
+func TestTimeoutPolicyCapsWait(t *testing.T) {
+	cfg := baseRound()
+	deadline := 6 * time.Second
+	stats := SimulateRounds(cfg, core.Timeout{D: deadline})
+	all := SimulateRounds(cfg, core.WaitAll{})
+	if stats.MeanWaitMs > all.MeanWaitMs {
+		t.Fatalf("timeout wait %v above wait-all %v", stats.MeanWaitMs, all.MeanWaitMs)
+	}
+}
+
+func TestAgeGrowsWithBlockInterval(t *testing.T) {
+	cfg := baseRound()
+	cfg.StragglerFactor = 1
+	cfg.TrainJitter = 0.1
+	fast := cfg
+	fast.BlockIntervalMs = 100
+	slow := cfg
+	slow.BlockIntervalMs = 5000
+	ageFast := SimulateRounds(fast, core.WaitAll{}).MeanAgeMs
+	ageSlow := SimulateRounds(slow, core.WaitAll{}).MeanAgeMs
+	if ageSlow <= ageFast {
+		t.Fatalf("age of block must grow with interval: %v vs %v", ageFast, ageSlow)
+	}
+}
+
+func TestSimulateRoundsDeterministic(t *testing.T) {
+	a := SimulateRounds(baseRound(), core.FirstK{K: 3})
+	b := SimulateRounds(baseRound(), core.FirstK{K: 3})
+	if a != b {
+		t.Fatalf("rounds not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSortedIdx(t *testing.T) {
+	v := []float64{3, 1, 2, 1}
+	idx := sortedIdx(v)
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		vals[i] = v[j]
+	}
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatalf("not sorted: %v", vals)
+	}
+	// Equal values keep index order.
+	if idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("stable tie-break violated: %v", idx)
+	}
+}
+
+func TestThroughputPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SimulateThroughput(ThroughputConfig{})
+}
+
+func TestRoundsLatencyReasonable(t *testing.T) {
+	cfg := baseRound()
+	stats := SimulateRounds(cfg, core.WaitAll{})
+	// Wait must be at least the straggler's mean training time and
+	// finite.
+	if stats.MeanWaitMs < cfg.MeanTrainMs || math.IsNaN(stats.MeanWaitMs) {
+		t.Fatalf("wait %v implausible", stats.MeanWaitMs)
+	}
+}

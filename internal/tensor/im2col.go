@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of one 2-D convolution: input planes of
+// InC channels sized InH x InW, a KH x KW kernel applied with the given
+// Stride and zero Padding.
+type ConvGeom struct {
+	InC, InH, InW int
+	KH, KW        int
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// PatchLen returns the length of one flattened receptive field.
+func (g ConvGeom) PatchLen() int { return g.InC * g.KH * g.KW }
+
+// Validate returns an error if the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("tensor: non-positive conv geometry %+v", g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("tensor: non-positive stride %d", g.Stride)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("tensor: negative padding %d", g.Pad)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: kernel %dx%d larger than padded input %dx%d",
+			g.KH, g.KW, g.InH+2*g.Pad, g.InW+2*g.Pad)
+	}
+	return nil
+}
+
+// Im2Col expands one image x (flattened CHW, length InC*InH*InW) into the
+// patch matrix out, which must be (OutH*OutW) x PatchLen. Each row of out
+// is one receptive field, so convolution becomes out * Wᵀ.
+func Im2Col(g ConvGeom, x []float32, out *Dense) {
+	oh, ow, plen := g.OutH(), g.OutW(), g.PatchLen()
+	if len(x) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input length %d != %d", len(x), g.InC*g.InH*g.InW))
+	}
+	if out.Rows != oh*ow || out.Cols != plen {
+		panic(fmt.Sprintf("tensor: Im2Col output %dx%d, want %dx%d", out.Rows, out.Cols, oh*ow, plen))
+	}
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := out.Row(oy*ow + ox)
+			idx := 0
+			iy0 := oy*g.Stride - g.Pad
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				plane := x[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						for kx := 0; kx < g.KW; kx++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= g.InW {
+							row[idx] = 0
+						} else {
+							row[idx] = plane[base+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatter-adds the patch matrix cols (shape (OutH*OutW) x PatchLen)
+// back into the image gradient dx (flattened CHW). dx is NOT zeroed first;
+// callers accumulate into a fresh buffer.
+func Col2Im(g ConvGeom, cols *Dense, dx []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	if len(dx) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im output length %d != %d", len(dx), g.InC*g.InH*g.InW))
+	}
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := cols.Row(oy*ow + ox)
+			idx := 0
+			iy0 := oy*g.Stride - g.Pad
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				plane := dx[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= g.InH {
+						idx += g.KW
+						continue
+					}
+					base := iy * g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if ix >= 0 && ix < g.InW {
+							plane[base+ix] += row[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

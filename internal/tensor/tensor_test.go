@@ -1,0 +1,324 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"waitornot/internal/xrand"
+)
+
+// naiveMatMul is the reference implementation the optimized kernels are
+// checked against.
+func naiveMatMul(a, b *Dense) *Dense {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float32
+			for p := 0; p < a.Cols; p++ {
+				sum += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(i, j, sum)
+		}
+	}
+	return c
+}
+
+func randomDense(rng *xrand.RNG, rows, cols int) *Dense {
+	m := New(rows, cols)
+	m.Randomize(rng, 1)
+	return m
+}
+
+func approxEqual(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(float64(a.Data[i]-b.Data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := xrand.New(1)
+	shapes := []struct{ n, k, m int }{
+		{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {7, 13, 3}, {16, 32, 8}, {3, 1, 9}, {9, 6, 1},
+	}
+	for _, s := range shapes {
+		a := randomDense(rng, s.n, s.k)
+		b := randomDense(rng, s.k, s.m)
+		c := New(s.n, s.m)
+		MatMul(a, b, c)
+		want := naiveMatMul(a, b)
+		if !approxEqual(c, want, 1e-4) {
+			t.Errorf("MatMul mismatch for %dx%dx%d", s.n, s.k, s.m)
+		}
+	}
+}
+
+func TestMatMulOverwritesStale(t *testing.T) {
+	rng := xrand.New(2)
+	a := randomDense(rng, 4, 4)
+	b := randomDense(rng, 4, 4)
+	c := New(4, 4)
+	c.Fill(999)
+	MatMul(a, b, c)
+	if !approxEqual(c, naiveMatMul(a, b), 1e-4) {
+		t.Fatal("MatMul must overwrite previous contents of c")
+	}
+}
+
+func TestMatMulAddAccumulates(t *testing.T) {
+	rng := xrand.New(3)
+	a := randomDense(rng, 3, 5)
+	b := randomDense(rng, 5, 2)
+	c := New(3, 2)
+	c.Fill(1)
+	MatMulAdd(a, b, c)
+	want := naiveMatMul(a, b)
+	for i := range want.Data {
+		want.Data[i]++
+	}
+	if !approxEqual(c, want, 1e-4) {
+		t.Fatal("MatMulAdd mismatch")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := xrand.New(4)
+	a := randomDense(rng, 6, 7)
+	bt := randomDense(rng, 9, 7) // b = btᵀ is 7x9
+	c := New(6, 9)
+	MatMulTransB(a, bt, c)
+
+	b := New(7, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 7; j++ {
+			b.Set(j, i, bt.At(i, j))
+		}
+	}
+	if !approxEqual(c, naiveMatMul(a, b), 1e-4) {
+		t.Fatal("MatMulTransB mismatch")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := xrand.New(5)
+	at := randomDense(rng, 7, 6) // a = atᵀ is 6x7
+	b := randomDense(rng, 7, 4)
+	c := New(6, 4)
+	MatMulTransA(at, b, c)
+
+	a := New(6, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 6; j++ {
+			a.Set(j, i, at.At(i, j))
+		}
+	}
+	if !approxEqual(c, naiveMatMul(a, b), 1e-4) {
+		t.Fatal("MatMulTransA mismatch")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape mismatch panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5), New(2, 5))
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	// (A*B)*C == A*(B*C) within float tolerance.
+	rng := xrand.New(6)
+	check := func(seed uint64) bool {
+		r := rng.Derive("assoc").Derive(string(rune(seed % 1000)))
+		a := randomDense(r, 4, 5)
+		b := randomDense(r, 5, 3)
+		c := randomDense(r, 3, 6)
+		ab := New(4, 3)
+		MatMul(a, b, ab)
+		abc1 := New(4, 6)
+		MatMul(ab, c, abc1)
+		bc := New(5, 6)
+		MatMul(b, c, bc)
+		abc2 := New(4, 6)
+		MatMul(a, bc, abc2)
+		return approxEqual(abc1, abc2, 1e-3)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	AddRowVector(m, []float32{10, 20, 30})
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddRowVector: got %v want %v", m.Data, want)
+		}
+	}
+	sums := ColSums(m)
+	if sums[0] != 25 || sums[1] != 47 || sums[2] != 69 {
+		t.Fatalf("ColSums: got %v", sums)
+	}
+}
+
+func TestAxpyScaleDot(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 10, 10}
+	Axpy(2, x, y)
+	if y[0] != 12 || y[1] != 14 || y[2] != 16 {
+		t.Fatalf("Axpy: got %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 6 || y[1] != 7 || y[2] != 8 {
+		t.Fatalf("Scale: got %v", y)
+	}
+	if d := Dot(x, x); d != 14 {
+		t.Fatalf("Dot: got %v", d)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if n := Norm2([]float32{3, 4}); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("Norm2: got %v", n)
+	}
+	if n := Norm2(nil); n != 0 {
+		t.Fatalf("Norm2(nil): got %v", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone must not alias storage")
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1: patch matrix is just the image reshaped.
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, KH: 1, KW: 1, Stride: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := New(9, 1)
+	Im2Col(g, x, out)
+	for i, v := range x {
+		if out.Data[i] != v {
+			t.Fatalf("identity im2col: got %v", out.Data)
+		}
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 2x2 input, 2x2 kernel, stride 1, no pad -> single patch.
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 2, KW: 2, Stride: 1}
+	x := []float32{1, 2, 3, 4}
+	out := New(1, 4)
+	Im2Col(g, x, out)
+	for i, v := range []float32{1, 2, 3, 4} {
+		if out.Data[i] != v {
+			t.Fatalf("got %v", out.Data)
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	// 1x1 input, 3x3 kernel, pad 1 -> one patch with the value centered.
+	g := ConvGeom{InC: 1, InH: 1, InW: 1, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []float32{7}
+	out := New(1, 9)
+	Im2Col(g, x, out)
+	for i, v := range out.Data {
+		want := float32(0)
+		if i == 4 {
+			want = 7
+		}
+		if v != want {
+			t.Fatalf("pad patch wrong at %d: %v", i, out.Data)
+		}
+	}
+}
+
+func TestIm2ColMultiChannelStride(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 4, InW: 4, KH: 2, KW: 2, Stride: 2}
+	if g.OutH() != 2 || g.OutW() != 2 || g.PatchLen() != 8 {
+		t.Fatalf("geometry wrong: %d %d %d", g.OutH(), g.OutW(), g.PatchLen())
+	}
+	x := make([]float32, 32)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	out := New(4, 8)
+	Im2Col(g, x, out)
+	// First patch, channel 0 is rows {0,1} cols {0,1} = 0,1,4,5;
+	// channel 1 adds 16.
+	want := []float32{0, 1, 4, 5, 16, 17, 20, 21}
+	for i, v := range want {
+		if out.Row(0)[i] != v {
+			t.Fatalf("patch 0: got %v want %v", out.Row(0), want)
+		}
+	}
+}
+
+func TestCol2ImRoundTripProperty(t *testing.T) {
+	// For stride >= kernel (non-overlapping patches, no padding),
+	// Col2Im(Im2Col(x)) == x.
+	g := ConvGeom{InC: 2, InH: 6, InW: 6, KH: 2, KW: 2, Stride: 2}
+	rng := xrand.New(77)
+	x := make([]float32, g.InC*g.InH*g.InW)
+	for i := range x {
+		x[i] = rng.NormFloat32()
+	}
+	cols := New(g.OutH()*g.OutW(), g.PatchLen())
+	Im2Col(g, x, cols)
+	back := make([]float32, len(x))
+	Col2Im(g, cols, back)
+	for i := range x {
+		if x[i] != back[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	bad := []ConvGeom{
+		{InC: 0, InH: 1, InW: 1, KH: 1, KW: 1, Stride: 1},
+		{InC: 1, InH: 1, InW: 1, KH: 1, KW: 1, Stride: 0},
+		{InC: 1, InH: 1, InW: 1, KH: 1, KW: 1, Stride: 1, Pad: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, Stride: 1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, g)
+		}
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMatMul(b, 64) }
+func BenchmarkMatMul256(b *testing.B) { benchMatMul(b, 256) }
+
+func benchMatMul(b *testing.B, n int) {
+	rng := xrand.New(1)
+	a := randomDense(rng, n, n)
+	bb := randomDense(rng, n, n)
+	c := New(n, n)
+	b.SetBytes(int64(n * n * n * 2)) // FLOPs as "bytes" for ops/s readout
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, bb, c)
+	}
+}

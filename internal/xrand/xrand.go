@@ -1,0 +1,141 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used across the repository.
+//
+// Every stochastic component (dataset synthesis, weight initialization,
+// mining jitter, network latency, shuffling) draws from its own RNG stream
+// derived from a single experiment seed, so complete experiments are
+// reproducible bit-for-bit regardless of goroutine scheduling. The
+// generator is splitmix64, which is tiny, passes BigCrush, and — unlike
+// math/rand's source — has a stable, documented algorithm we control.
+package xrand
+
+import "math"
+
+// RNG is a deterministic splitmix64 pseudo-random number generator.
+// It is NOT safe for concurrent use; derive one stream per goroutine
+// with Derive instead of sharing.
+type RNG struct {
+	state uint64
+
+	// Box-Muller cache for NormFloat64.
+	hasSpare bool
+	spare    float64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Derive returns a new independent RNG whose stream is a pure function of
+// the parent's seed state and the label. Deriving with the same label twice
+// yields identical streams; different labels yield decorrelated streams.
+// Derive does not advance the parent's state.
+func (r *RNG) Derive(label string) *RNG {
+	// FNV-1a over the label, folded into the parent state through an
+	// extra splitmix64 scramble.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(mix(r.state ^ mix(h)))
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 random bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection-free variant is overkill here;
+	// plain modulo bias is < 2^-32 for the small n used in experiments,
+	// but use 64-bit multiply-shift anyway since it is branch-free.
+	return int((r.Uint64() >> 11) % uint64(n))
+}
+
+// Int63 returns a non-negative random 63-bit integer.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniformly distributed float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// NormFloat64 returns a standard-normally distributed float64 using the
+// Box-Muller transform (polar form is avoided to keep the stream length
+// deterministic: exactly one Uint64 pair per two variates).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	// u in (0,1] so that Log never sees zero.
+	u := 1.0 - r.Float64()
+	v := r.Float64()
+	mag := math.Sqrt(-2.0 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.hasSpare = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// NormFloat32 returns a standard-normally distributed float32.
+func (r *RNG) NormFloat32() float32 { return float32(r.NormFloat64()) }
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1.0 - r.Float64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place (Fisher-Yates).
+func (r *RNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }

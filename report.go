@@ -1,0 +1,221 @@
+package waitornot
+
+import (
+	"fmt"
+	"strings"
+
+	"waitornot/internal/bfl"
+	"waitornot/internal/fl"
+	"waitornot/internal/metrics"
+)
+
+// VanillaReport is the centralized experiment's output (Table I /
+// Figure 3).
+type VanillaReport struct {
+	ClientNames []string
+	// Consider[client][round-1] / NotConsider[client][round-1] are test
+	// accuracies under the two aggregation types.
+	Consider    [][]float64
+	NotConsider [][]float64
+	// ConsiderCombos[round-1] is the combination the consider
+	// aggregator adopted each round.
+	ConsiderCombos []string
+}
+
+// RunVanilla executes the centralized (Vanilla FL) experiment.
+func RunVanilla(opts Options) (*VanillaReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := fl.RunVanilla(opts.vanilla())
+	if err != nil {
+		return nil, err
+	}
+	return &VanillaReport{
+		ClientNames:    res.ClientNames,
+		Consider:       res.Consider.Accuracy,
+		NotConsider:    res.NotConsider.Accuracy,
+		ConsiderCombos: res.Consider.ChosenCombos,
+	}, nil
+}
+
+// TableI renders the report in the layout of the paper's Table I.
+func (r *VanillaReport) TableI(model string) string {
+	rounds := 0
+	if len(r.Consider) > 0 {
+		rounds = len(r.Consider[0])
+	}
+	header := []string{"Client", "Params"}
+	for i := 1; i <= rounds; i++ {
+		header = append(header, fmt.Sprintf("r%d", i))
+	}
+	tab := metrics.NewTable("Table I — Vanilla FL ("+model+"): clients' test accuracy under two aggregation types", header...)
+	for ci, name := range r.ClientNames {
+		rowC := []string{name, "Consider"}
+		rowN := []string{"", "Not consider"}
+		for ri := 0; ri < rounds; ri++ {
+			rowC = append(rowC, metrics.Acc(r.Consider[ci][ri]))
+			rowN = append(rowN, metrics.Acc(r.NotConsider[ci][ri]))
+		}
+		tab.Add(rowC...)
+		tab.Add(rowN...)
+	}
+	return tab.ASCII()
+}
+
+// Figure3 renders the per-client accuracy curves (the paper's Figure 3).
+func (r *VanillaReport) Figure3(model string) string {
+	var b strings.Builder
+	for ci, name := range r.ClientNames {
+		b.WriteString(metrics.Plot(
+			fmt.Sprintf("Figure 3 (%s) — Client %s: test accuracy per round", model, name),
+			[]metrics.Series{
+				{Name: "consider", Y: r.Consider[ci]},
+				{Name: "not consider", Y: r.NotConsider[ci]},
+			}, 50, 12))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the full result grid.
+func (r *VanillaReport) CSV() string {
+	tab := metrics.NewTable("", "client", "mode", "round", "accuracy")
+	for ci, name := range r.ClientNames {
+		for ri := range r.Consider[ci] {
+			tab.Add(name, "consider", fmt.Sprint(ri+1), metrics.Acc(r.Consider[ci][ri]))
+			tab.Add(name, "not_consider", fmt.Sprint(ri+1), metrics.Acc(r.NotConsider[ci][ri]))
+		}
+	}
+	return tab.CSV()
+}
+
+// RoundInfo is one peer-round of the decentralized run.
+type RoundInfo struct {
+	Round          int
+	Included       int
+	WaitMs         float64
+	ChosenCombo    string
+	ChosenAccuracy float64
+	Rejected       []string
+}
+
+// ChainSummary is the on-chain footprint of a decentralized run.
+type ChainSummary struct {
+	Blocks      int
+	Txs         int
+	GasUsed     uint64
+	Bytes       int
+	Submissions int
+	Decisions   int
+}
+
+// DecentralizedReport is the blockchain experiment's output
+// (Tables II-IV / Figure 4).
+type DecentralizedReport struct {
+	PeerNames []string
+	// ComboLabels[peer] are the table row labels from that peer's
+	// perspective; ComboAccuracy[peer][round-1][combo] are the test
+	// accuracies (empty when SkipComboTables).
+	ComboLabels   [][]string
+	ComboAccuracy [][][]float64
+	// Rounds[peer][round-1] records the aggregation that actually
+	// happened under the wait policy.
+	Rounds [][]RoundInfo
+	// Chain summarizes the canonical chain all peers converged on.
+	Chain ChainSummary
+}
+
+// RunDecentralized executes the blockchain-based FL experiment.
+func RunDecentralized(opts Options) (*DecentralizedReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := bfl.RunDecentralized(opts.decentralized())
+	if err != nil {
+		return nil, err
+	}
+	rep := &DecentralizedReport{
+		PeerNames:     res.PeerNames,
+		ComboLabels:   res.ComboLabels,
+		ComboAccuracy: res.ComboAccuracy,
+		Chain: ChainSummary{
+			Blocks:      res.Chain.Blocks,
+			Txs:         res.Chain.Txs,
+			GasUsed:     res.Chain.GasUsed,
+			Bytes:       res.Chain.Bytes,
+			Submissions: res.Chain.Submissions,
+			Decisions:   res.Chain.Decisions,
+		},
+	}
+	rep.Rounds = make([][]RoundInfo, len(res.Rounds))
+	for p, rounds := range res.Rounds {
+		for _, rs := range rounds {
+			rep.Rounds[p] = append(rep.Rounds[p], RoundInfo{
+				Round:          rs.Round,
+				Included:       rs.Included,
+				WaitMs:         rs.WaitMs,
+				ChosenCombo:    rs.ChosenCombo,
+				ChosenAccuracy: rs.ChosenAccuracy,
+				Rejected:       rs.Rejected,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// PeerTable renders one peer's combination table (the paper's Table II,
+// III, or IV for peers 0, 1, 2).
+func (r *DecentralizedReport) PeerTable(peer int, model string) string {
+	if peer < 0 || peer >= len(r.PeerNames) {
+		return ""
+	}
+	rounds := len(r.ComboAccuracy[peer])
+	header := []string{"Params from"}
+	for i := 1; i <= rounds; i++ {
+		header = append(header, fmt.Sprintf("r%d", i))
+	}
+	tab := metrics.NewTable(
+		fmt.Sprintf("Table %s — Blockchain-based FL (%s): test accuracy per model combination, client %s",
+			[]string{"II", "III", "IV"}[min(peer, 2)], model, r.PeerNames[peer]),
+		header...)
+	for comboIdx, label := range r.ComboLabels[peer] {
+		row := []string{label}
+		for ri := 0; ri < rounds; ri++ {
+			row = append(row, metrics.Acc(r.ComboAccuracy[peer][ri][comboIdx]))
+		}
+		tab.Add(row...)
+	}
+	return tab.ASCII()
+}
+
+// Figure4 renders the combination curves per peer (the paper's
+// Figure 4).
+func (r *DecentralizedReport) Figure4(model string) string {
+	var b strings.Builder
+	for p, name := range r.PeerNames {
+		if len(r.ComboAccuracy[p]) == 0 {
+			continue
+		}
+		series := make([]metrics.Series, len(r.ComboLabels[p]))
+		for ci, label := range r.ComboLabels[p] {
+			y := make([]float64, len(r.ComboAccuracy[p]))
+			for ri := range r.ComboAccuracy[p] {
+				y[ri] = r.ComboAccuracy[p][ri][ci]
+			}
+			series[ci] = metrics.Series{Name: label, Y: y}
+		}
+		b.WriteString(metrics.Plot(
+			fmt.Sprintf("Figure 4 (%s) — Client %s: accuracy per model combination", model, name),
+			series, 50, 12))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

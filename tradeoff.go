@@ -1,0 +1,168 @@
+package waitornot
+
+import (
+	"fmt"
+
+	"waitornot/internal/core"
+	"waitornot/internal/metrics"
+	"waitornot/internal/simnet"
+)
+
+// PolicyOutcome summarizes one wait policy's run in the trade-off study.
+type PolicyOutcome struct {
+	Policy string
+	// FinalAccuracy is the mean adopted-model test accuracy across
+	// peers in the final round.
+	FinalAccuracy float64
+	// MeanWaitMs is the mean per-round aggregation wait across peers
+	// and rounds (simulated arrival-time model).
+	MeanWaitMs float64
+	// MeanIncluded is the mean number of models aggregated per round.
+	MeanIncluded float64
+}
+
+// TradeoffReport answers the title question for one model: what does
+// each wait policy cost in accuracy, and what does it save in time.
+type TradeoffReport struct {
+	Model    Model
+	Outcomes []PolicyOutcome
+}
+
+// RunTradeoff runs the decentralized experiment once per policy
+// (identical data, seeds, and initial weights) and summarizes the
+// speed-vs-precision frontier.
+func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
+	opts = opts.withDefaults()
+	opts.SkipComboTables = true
+	out := &TradeoffReport{Model: opts.Model}
+	for _, p := range policies {
+		o := opts
+		o.Policy = p
+		rep, err := RunDecentralized(o)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", p.Name(), err)
+		}
+		var acc, wait, included float64
+		var waitN int
+		for peer := range rep.Rounds {
+			rounds := rep.Rounds[peer]
+			acc += rounds[len(rounds)-1].ChosenAccuracy
+			for _, ri := range rounds {
+				wait += ri.WaitMs
+				included += float64(ri.Included)
+				waitN++
+			}
+		}
+		out.Outcomes = append(out.Outcomes, PolicyOutcome{
+			Policy:        p.Name(),
+			FinalAccuracy: acc / float64(len(rep.Rounds)),
+			MeanWaitMs:    wait / float64(waitN),
+			MeanIncluded:  included / float64(waitN),
+		})
+	}
+	return out, nil
+}
+
+// Table renders the trade-off frontier.
+func (r *TradeoffReport) Table() string {
+	tab := metrics.NewTable(
+		fmt.Sprintf("Wait or not to wait (%s): speed vs precision per wait policy", r.Model),
+		"policy", "final acc", "mean wait (ms)", "mean models")
+	for _, o := range r.Outcomes {
+		tab.Add(o.Policy, metrics.Acc(o.FinalAccuracy),
+			fmt.Sprintf("%.1f", o.MeanWaitMs), fmt.Sprintf("%.2f", o.MeanIncluded))
+	}
+	return tab.ASCII()
+}
+
+// NetworkPoint is one operating point of the blockchain performance
+// sweeps.
+type NetworkPoint struct {
+	Label           string
+	CommittedPerSec float64
+	MeanLatencyMs   float64
+}
+
+// ThroughputVsPeers reproduces the §II-A2 scaling premise: committed
+// transaction throughput as co-located peer count grows.
+func ThroughputVsPeers(peerCounts []int, seed uint64) []NetworkPoint {
+	base := simnet.ThroughputConfig{
+		TxExecMs:        2,
+		HostCores:       2,
+		BlockIntervalMs: 1000,
+		BlockGasLimit:   100_000_000,
+		TxGas:           100_000,
+		OfferedTxPerSec: 400,
+		DurationMs:      120_000,
+		Seed:            seed,
+	}
+	pts := simnet.SweepPeers(base, peerCounts)
+	out := make([]NetworkPoint, len(pts))
+	for i, p := range pts {
+		out[i] = NetworkPoint{
+			Label:           fmt.Sprintf("%d peers", p.Peers),
+			CommittedPerSec: p.CommittedPerSec,
+			MeanLatencyMs:   p.MeanLatencyMs,
+		}
+	}
+	return out
+}
+
+// ThroughputVsBlockGas reproduces the block-capacity premise (refs
+// [11], [12]): throughput as the block gas limit varies relative to a
+// model-sized transaction.
+func ThroughputVsBlockGas(limits []uint64, txGas uint64, seed uint64) []NetworkPoint {
+	base := simnet.ThroughputConfig{
+		Peers:           3,
+		TxExecMs:        0.5,
+		HostCores:       6,
+		BlockIntervalMs: 1000,
+		TxGas:           txGas,
+		OfferedTxPerSec: 200,
+		DurationMs:      120_000,
+		Seed:            seed,
+	}
+	pts := simnet.SweepBlockGas(base, limits)
+	out := make([]NetworkPoint, len(pts))
+	for i, p := range pts {
+		out[i] = NetworkPoint{
+			Label:           fmt.Sprintf("gas %d", limits[i]),
+			CommittedPerSec: p.CommittedPerSec,
+			MeanLatencyMs:   p.MeanLatencyMs,
+		}
+	}
+	return out
+}
+
+// RoundLatencyByPolicy simulates many aggregation rounds per policy on
+// the virtual clock (no training), reporting wait time, participation,
+// and update staleness ("age of block").
+func RoundLatencyByPolicy(peers int, policies []Policy, seed uint64) []simnet.RoundStats {
+	cfg := simnet.RoundConfig{
+		Peers:           peers,
+		MeanTrainMs:     5000,
+		TrainJitter:     0.3,
+		StragglerFactor: 3,
+		BlockIntervalMs: 500,
+		NetworkMs:       50,
+		Rounds:          1000,
+		Seed:            seed,
+	}
+	out := make([]simnet.RoundStats, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, simnet.SimulateRounds(cfg, p.internal()))
+	}
+	return out
+}
+
+// DefaultPolicies returns the policy ladder the trade-off study sweeps:
+// fully synchronous down to fully asynchronous.
+func DefaultPolicies(peers int) []Policy {
+	ps := []Policy{{Kind: WaitAll}}
+	for k := peers - 1; k >= 1; k-- {
+		ps = append(ps, Policy{Kind: FirstK, K: k})
+	}
+	return ps
+}
+
+var _ core.WaitPolicy = core.WaitAll{} // compile-time: facade stays in sync with engine

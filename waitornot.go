@@ -1,0 +1,245 @@
+// Package waitornot reproduces "Wait or Not to Wait: Evaluating
+// Trade-Offs between Speed and Precision in Blockchain-based Federated
+// Aggregation" (ICDCS 2024): a fully coupled blockchain-assisted
+// federated learning system in which every participant trains locally,
+// shares models over a permissionless proof-of-work chain, and
+// personalizes its own aggregation — waiting for all models, or not.
+//
+// The package is the public facade over the internal engine. Three
+// entry points cover the paper's evaluation:
+//
+//   - RunVanilla — the centralized baseline (Table I / Figure 3):
+//     one aggregator, "consider" vs "not consider" aggregation.
+//   - RunDecentralized — the blockchain deployment (Tables II-IV /
+//     Figure 4): every peer mines, submits models through the
+//     aggregation contract, and adopts its best-scoring combination.
+//   - RunTradeoff — the headline question: how much time does
+//     asynchronous aggregation save, at what accuracy cost, under a
+//     set of wait policies.
+//
+// Everything is deterministic given Options.Seed.
+package waitornot
+
+import (
+	"fmt"
+	"time"
+
+	"waitornot/internal/bfl"
+	"waitornot/internal/core"
+	"waitornot/internal/fl"
+	"waitornot/internal/nn"
+)
+
+// Model selects one of the paper's two architectures.
+type Model int
+
+// The two evaluated models.
+const (
+	// SimpleNN is the paper's from-scratch 62K-parameter MLP.
+	SimpleNN Model = iota + 1
+	// EffNetB0Sim is the compact pretrained CNN standing in for
+	// EfficientNet-B0 (see DESIGN.md for the substitution argument).
+	EffNetB0Sim
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case SimpleNN:
+		return "SimpleNN"
+	case EffNetB0Sim:
+		return "EffNetB0Sim"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+func (m Model) internal() nn.ModelID {
+	switch m {
+	case SimpleNN:
+		return nn.ModelSimpleNN
+	case EffNetB0Sim:
+		return nn.ModelEffNetSim
+	default:
+		return 0
+	}
+}
+
+// PolicyKind names a wait-policy family.
+type PolicyKind int
+
+// The wait policies of the trade-off study.
+const (
+	// WaitAll waits for every participant (synchronous aggregation).
+	WaitAll PolicyKind = iota + 1
+	// FirstK aggregates after the first K models arrive.
+	FirstK
+	// Timeout aggregates whatever has arrived after a deadline.
+	Timeout
+	// KOrTimeout fires at K models or the deadline, whichever first.
+	KOrTimeout
+)
+
+// Policy selects when a peer stops waiting for other peers' models.
+type Policy struct {
+	Kind PolicyKind
+	// K applies to FirstK / KOrTimeout.
+	K int
+	// TimeoutMs applies to Timeout / KOrTimeout.
+	TimeoutMs float64
+}
+
+// Name renders the policy for reports.
+func (p Policy) Name() string { return p.internal().Name() }
+
+func (p Policy) internal() core.WaitPolicy {
+	switch p.Kind {
+	case FirstK:
+		return core.FirstK{K: p.K}
+	case Timeout:
+		return core.Timeout{D: time.Duration(p.TimeoutMs * float64(time.Millisecond))}
+	case KOrTimeout:
+		return core.KOrTimeout{K: p.K, D: time.Duration(p.TimeoutMs * float64(time.Millisecond))}
+	default:
+		return core.WaitAll{}
+	}
+}
+
+// Options parameterizes an experiment. The zero value (plus a Model)
+// reproduces the paper's setup: 3 clients, 10 rounds, 5 local epochs,
+// calibrated data sizes.
+type Options struct {
+	// Model is the architecture (default SimpleNN).
+	Model Model
+	// Clients is the participant count (default 3, the paper's).
+	Clients int
+	// Rounds is the communication-round count (default 10).
+	Rounds int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// TrainPerClient / SelectionSize / TestPerClient size the data
+	// (defaults 3000 / 300 / 800).
+	TrainPerClient int
+	SelectionSize  int
+	TestPerClient  int
+	// DirichletAlpha > 0 partitions shards non-IID.
+	DirichletAlpha float64
+	// PretrainSamples / PretrainEpochs override the EffNetB0Sim
+	// transfer-learning warm start (0 = calibrated defaults). Ignored
+	// for SimpleNN.
+	PretrainSamples int
+	PretrainEpochs  int
+	// LearningRate overrides the calibrated local-training rate
+	// (0 = paper-calibrated default). Small demos with few samples and
+	// rounds want a hotter rate than the full-scale calibration.
+	LearningRate float64
+	// LocalEpochs overrides the per-round local epochs (0 = 5, the
+	// paper's protocol).
+	LocalEpochs int
+
+	// Policy is the decentralized wait policy (default WaitAll).
+	Policy Policy
+	// FilterMinAccuracy / FilterMaxBelowBest screen abnormal models
+	// before aggregation (0 disables).
+	FilterMinAccuracy  float64
+	FilterMaxBelowBest float64
+	// StragglerFactor scales each peer's simulated training duration
+	// (nil = homogeneous peers).
+	StragglerFactor []float64
+	// SkipComboTables disables the per-round all-combination test
+	// evaluation (Tables II-IV data) for faster runs.
+	SkipComboTables bool
+	// PoisonClient, if >= 0, label-flips PoisonFraction of that
+	// client's shard. Default -1 (disabled).
+	PoisonClient   int
+	PoisonFraction float64
+}
+
+// Validate rejects options the engine cannot honour. Both Run
+// functions call it; exported for callers that want to fail fast.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.Model != SimpleNN && o.Model != EffNetB0Sim {
+		return fmt.Errorf("waitornot: unknown model %v", o.Model)
+	}
+	return nil
+}
+
+func (o Options) withDefaults() Options {
+	if o.Model == 0 {
+		o.Model = SimpleNN
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.PoisonClient == 0 && o.PoisonFraction == 0 {
+		o.PoisonClient = -1
+	}
+	return o
+}
+
+func (o Options) hyper() fl.Hyper {
+	if o.LearningRate == 0 && o.LocalEpochs == 0 {
+		return fl.Hyper{} // engine default for the model
+	}
+	h := fl.DefaultHyper(o.Model.internal())
+	if o.LearningRate > 0 {
+		h.LR = o.LearningRate
+	}
+	if o.LocalEpochs > 0 {
+		h.LocalEpochs = o.LocalEpochs
+	}
+	return h
+}
+
+func (o Options) pretrain() fl.PretrainSpec {
+	if o.PretrainSamples == 0 && o.PretrainEpochs == 0 {
+		return fl.PretrainSpec{} // engine default
+	}
+	spec := fl.DefaultPretrain()
+	if o.PretrainSamples > 0 {
+		spec.Samples = o.PretrainSamples
+	}
+	if o.PretrainEpochs > 0 {
+		spec.Epochs = o.PretrainEpochs
+	}
+	return spec
+}
+
+func (o Options) vanilla() fl.VanillaConfig {
+	o = o.withDefaults()
+	return fl.VanillaConfig{
+		Model:          o.Model.internal(),
+		Clients:        o.Clients,
+		Rounds:         o.Rounds,
+		Seed:           o.Seed,
+		TrainPerClient: o.TrainPerClient,
+		SelectionSize:  o.SelectionSize,
+		TestPerClient:  o.TestPerClient,
+		DirichletAlpha: o.DirichletAlpha,
+		Pretrain:       o.pretrain(),
+		Hyper:          o.hyper(),
+	}
+}
+
+func (o Options) decentralized() bfl.Config {
+	o = o.withDefaults()
+	return bfl.Config{
+		Model:           o.Model.internal(),
+		Peers:           o.Clients,
+		Rounds:          o.Rounds,
+		Seed:            o.Seed,
+		TrainPerPeer:    o.TrainPerClient,
+		SelectionSize:   o.SelectionSize,
+		TestPerPeer:     o.TestPerClient,
+		DirichletAlpha:  o.DirichletAlpha,
+		Pretrain:        o.pretrain(),
+		Hyper:           o.hyper(),
+		Policy:          o.Policy.internal(),
+		Filter:          core.Filter{MinAccuracy: o.FilterMinAccuracy, MaxBelowBest: o.FilterMaxBelowBest},
+		EvalAllCombos:   !o.SkipComboTables,
+		StragglerFactor: o.StragglerFactor,
+		PoisonPeer:      o.PoisonClient,
+		PoisonFrac:      o.PoisonFraction,
+	}
+}

@@ -1,0 +1,152 @@
+package waitornot
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps facade tests fast.
+func tinyOpts(m Model) Options {
+	return Options{
+		Model:          m,
+		Clients:        3,
+		Rounds:         2,
+		Seed:           5,
+		TrainPerClient: 90,
+		SelectionSize:  40,
+		TestPerClient:  50,
+	}
+}
+
+func TestRunVanillaFacade(t *testing.T) {
+	rep, err := RunVanilla(tinyOpts(SimpleNN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ClientNames) != 3 || len(rep.Consider) != 3 || len(rep.NotConsider) != 3 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	table := rep.TableI("SimpleNN")
+	for _, want := range []string{"Table I", "Consider", "Not consider", "r1", "r2"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("TableI missing %q:\n%s", want, table)
+		}
+	}
+	fig := rep.Figure3("SimpleNN")
+	if !strings.Contains(fig, "Client A") || !strings.Contains(fig, "consider") {
+		t.Fatalf("Figure3 incomplete:\n%s", fig)
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "client,mode,round,accuracy") {
+		t.Fatalf("CSV header missing:\n%s", csv)
+	}
+}
+
+func TestRunDecentralizedFacade(t *testing.T) {
+	rep, err := RunDecentralized(tinyOpts(SimpleNN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PeerNames) != 3 {
+		t.Fatalf("peers = %v", rep.PeerNames)
+	}
+	for p := 0; p < 3; p++ {
+		table := rep.PeerTable(p, "SimpleNN")
+		if !strings.Contains(table, "Params from") {
+			t.Fatalf("peer table %d broken:\n%s", p, table)
+		}
+	}
+	if rep.PeerTable(99, "x") != "" {
+		t.Fatal("out-of-range peer table must be empty")
+	}
+	fig := rep.Figure4("SimpleNN")
+	if !strings.Contains(fig, "Client A") {
+		t.Fatalf("Figure4 incomplete:\n%s", fig)
+	}
+	if rep.Chain.Blocks == 0 || rep.Chain.Submissions != 6 {
+		t.Fatalf("chain summary = %+v", rep.Chain)
+	}
+}
+
+func TestRunTradeoffFacade(t *testing.T) {
+	opts := tinyOpts(SimpleNN)
+	opts.StragglerFactor = []float64{1, 1, 6}
+	rep, err := RunTradeoff(opts, DefaultPolicies(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 3 {
+		t.Fatalf("outcomes = %+v", rep.Outcomes)
+	}
+	// Synchronous waits longest and uses the most models.
+	sync := rep.Outcomes[0]
+	async := rep.Outcomes[len(rep.Outcomes)-1]
+	if sync.Policy != "wait-all" {
+		t.Fatalf("first policy = %s", sync.Policy)
+	}
+	if async.MeanWaitMs >= sync.MeanWaitMs {
+		t.Fatalf("async wait %v >= sync %v", async.MeanWaitMs, sync.MeanWaitMs)
+	}
+	if async.MeanIncluded >= sync.MeanIncluded {
+		t.Fatalf("async included %v >= sync %v", async.MeanIncluded, sync.MeanIncluded)
+	}
+	if !strings.Contains(rep.Table(), "wait-all") {
+		t.Fatalf("table broken:\n%s", rep.Table())
+	}
+}
+
+func TestThroughputSweepsShapes(t *testing.T) {
+	pts := ThroughputVsPeers([]int{4, 8}, 1)
+	if len(pts) != 2 || pts[0].CommittedPerSec <= pts[1].CommittedPerSec {
+		t.Fatalf("peer sweep shape wrong: %+v", pts)
+	}
+	gas := ThroughputVsBlockGas([]uint64{1_000_000, 100_000_000}, 100_000, 1)
+	if len(gas) != 2 || gas[0].CommittedPerSec >= gas[1].CommittedPerSec {
+		t.Fatalf("gas sweep shape wrong: %+v", gas)
+	}
+}
+
+func TestRoundLatencyByPolicy(t *testing.T) {
+	stats := RoundLatencyByPolicy(8, []Policy{{Kind: WaitAll}, {Kind: FirstK, K: 4}}, 1)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[1].MeanWaitMs >= stats[0].MeanWaitMs {
+		t.Fatalf("first-4 wait %v >= wait-all %v", stats[1].MeanWaitMs, stats[0].MeanWaitMs)
+	}
+}
+
+func TestPolicyNamesAndModelStrings(t *testing.T) {
+	if SimpleNN.String() != "SimpleNN" || EffNetB0Sim.String() != "EffNetB0Sim" {
+		t.Fatal("model strings wrong")
+	}
+	if (Policy{Kind: WaitAll}).Name() != "wait-all" {
+		t.Fatal("wait-all name wrong")
+	}
+	if (Policy{Kind: FirstK, K: 2}).Name() != "first-2" {
+		t.Fatal("first-k name wrong")
+	}
+	if !strings.Contains((Policy{Kind: Timeout, TimeoutMs: 1000}).Name(), "timeout") {
+		t.Fatal("timeout name wrong")
+	}
+	if !strings.Contains((Policy{Kind: KOrTimeout, K: 2, TimeoutMs: 1000}).Name(), "first-2-or") {
+		t.Fatal("k-or-timeout name wrong")
+	}
+}
+
+func TestDefaultPoliciesLadder(t *testing.T) {
+	ps := DefaultPolicies(3)
+	if len(ps) != 3 || ps[0].Kind != WaitAll || ps[1].K != 2 || ps[2].K != 1 {
+		t.Fatalf("ladder = %+v", ps)
+	}
+}
+
+func TestInvalidModelRejected(t *testing.T) {
+	opts := tinyOpts(Model(99))
+	if _, err := RunVanilla(opts); err == nil {
+		t.Fatal("invalid model accepted by vanilla")
+	}
+	if _, err := RunDecentralized(opts); err == nil {
+		t.Fatal("invalid model accepted by decentralized")
+	}
+}
