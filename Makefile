@@ -1,0 +1,30 @@
+# Build, verify, and benchmark the waitornot reproduction.
+#
+#   make ci        everything the repository gates on: build + vet +
+#                  tests + the race-detector smoke over the parallel
+#                  execution engine.
+
+GO ?= go
+
+.PHONY: build vet test test-race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race smoke: the internal/par pool itself, plus short parallel runs
+# of the decentralized experiment, the trade-off sweep, and the
+# simulators (TestRaceSmoke* in race_test.go).
+test-race:
+	$(GO) test -race ./internal/par/
+	$(GO) test -race -run 'TestRaceSmoke' .
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+ci: build vet test test-race

@@ -346,6 +346,71 @@ func BenchmarkModelSubmissionTx(b *testing.B) {
 	}
 }
 
+// benchParallelSpeedup times fn sequentially (Parallelism 1) and with
+// the given worker count, reporting both and their ratio. The two runs
+// produce bit-identical results (see determinism_test.go); only the
+// wall clock differs.
+func benchParallelSpeedup(b *testing.B, workers int, fn func(parallelism int)) {
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		seqStart := time.Now()
+		fn(1)
+		seq += time.Since(seqStart)
+		parStart := time.Now()
+		fn(workers)
+		par += time.Since(parStart)
+	}
+	b.ReportMetric(seq.Seconds()/float64(b.N), "seq-sec/op")
+	b.ReportMetric(par.Seconds()/float64(b.N), "par-sec/op")
+	if par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup-x")
+	}
+}
+
+// BenchmarkParallelDecentralized4Peers measures the headline win: the
+// 4-peer decentralized round, sequential vs 4 workers. On hardware
+// with >= 4 cores the speedup-x metric should approach 4 (training
+// dominates and peers are embarrassingly parallel).
+func BenchmarkParallelDecentralized4Peers(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.Clients = 4
+	benchParallelSpeedup(b, 4, func(parallelism int) {
+		opts.Parallelism = parallelism
+		if _, err := waitornot.RunDecentralized(opts); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkParallelComboSearch measures the consider-policy search in
+// isolation at 5 clients (31 combinations), where evaluation — not
+// training — dominates.
+func BenchmarkParallelComboSearch(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.Clients = 5
+	opts.Rounds = 1
+	opts.SelectionSize = 300
+	benchParallelSpeedup(b, 4, func(parallelism int) {
+		opts.Parallelism = parallelism
+		if _, err := waitornot.RunVanilla(opts); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkParallelTradeoffSweep measures the per-policy loop of the
+// trade-off study: three full experiments that are fully independent.
+func BenchmarkParallelTradeoffSweep(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.StragglerFactor = []float64{1, 1, 3}
+	benchParallelSpeedup(b, 3, func(parallelism int) {
+		opts.Parallelism = parallelism
+		if _, err := waitornot.RunTradeoff(opts, waitornot.DefaultPolicies(3)); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -13,9 +13,25 @@ import (
 	"time"
 
 	"waitornot/internal/dataset"
+	"waitornot/internal/fl"
 	"waitornot/internal/nn"
+	"waitornot/internal/par"
 	"waitornot/internal/xrand"
 )
+
+// modelID resolves the -model flag or exits on an unknown name.
+func modelID(name string) nn.ModelID {
+	switch name {
+	case "simple":
+		return nn.ModelSimpleNN
+	case "effnet":
+		return nn.ModelEffNetSim
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", name)
+		os.Exit(2)
+		return 0
+	}
+}
 
 func main() {
 	var (
@@ -37,6 +53,7 @@ func main() {
 		pretrain  = flag.Int("pretrain", 4000, "pretraining samples for effnet backbone")
 		preEpochs = flag.Int("preepochs", 4, "pretraining epochs")
 		preLR     = flag.Float64("prelr", 0.003, "pretraining learning rate")
+		parallel  = flag.Int("parallel", 0, "worker pool size for data generation and evaluation (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -64,15 +81,21 @@ func main() {
 	}
 
 	root := xrand.New(*seed)
-	train := dataset.Generate(cfg, *nTrain, root.Derive("train"))
-	test := dataset.Generate(cfg, *nTest, root.Derive("test"))
+	// Each set draws from its own derived stream, so generating them
+	// concurrently is bit-identical to generating them one by one.
+	workers := par.Workers(*parallel)
+	var train, test *dataset.Set
+	gen := []func(){
+		func() { train = dataset.Generate(cfg, *nTrain, root.Derive("train")) },
+		func() { test = dataset.Generate(cfg, *nTest, root.Derive("test")) },
+	}
+	if err := par.ForEach(workers, len(gen), func(i int) error { gen[i](); return nil }); err != nil {
+		panic(err)
+	}
 
-	var model *nn.Model
-	switch *modelName {
-	case "simple":
-		model = nn.NewSimpleNN(root.Derive("init"))
-	case "effnet":
-		model = nn.NewEffNetSim(root.Derive("init"))
+	id := modelID(*modelName)
+	model := id.Build(root.Derive("init"))
+	if id == nn.ModelEffNetSim {
 		if *pretrain > 0 {
 			preCfg := cfg
 			preCfg.TextureFamily = 1
@@ -86,11 +109,13 @@ func main() {
 			}
 			fmt.Printf("pretraining took %v\n", time.Since(start).Round(time.Millisecond))
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
-		os.Exit(2)
 	}
 	fmt.Printf("model %s: %d params\n", model.ModelName, model.NumParams())
+
+	// Test and train evaluation read the same frozen weights on
+	// separate scratch models, so the two runs proceed concurrently.
+	testEval := fl.NewAccuracyEvaluator(id, test)
+	trainEval := fl.NewAccuracyEvaluator(id, train)
 
 	opt := nn.NewSGD(*lr, 0.9, *wd)
 	for r := 1; r <= *rounds; r++ {
@@ -99,8 +124,15 @@ func main() {
 		for e := 0; e < *epochs; e++ {
 			loss = nn.TrainEpoch(model, opt, train.X, train.Y, 32, root.Derive(fmt.Sprintf("r%de%d", r, e)))
 		}
-		acc := nn.Evaluate(model, test.X, test.Y, 64)
-		trainAcc := nn.Evaluate(model, train.X, train.Y, 64)
+		weights := model.WeightVector()
+		var acc, trainAcc float64
+		evals := []func(){
+			func() { acc = testEval(weights) },
+			func() { trainAcc = trainEval(weights) },
+		}
+		if err := par.ForEach(workers, len(evals), func(i int) error { evals[i](); return nil }); err != nil {
+			panic(err)
+		}
 		fmt.Printf("round %2d: loss %.4f  test acc %.4f  train acc %.4f  (%v)\n",
 			r, loss, acc, trainAcc, time.Since(start).Round(time.Millisecond))
 	}

@@ -9,6 +9,8 @@
 //
 // Model selection: -model simple|effnet|both. Add -fast for a reduced
 // (smoke-test) scale, and -csv to emit machine-readable grids as well.
+// -parallel N bounds the engine's worker pools (0 = all cores, 1 =
+// sequential); every setting produces bit-identical tables.
 package main
 
 import (
@@ -22,12 +24,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|tables234|tradeoff|netperf|all")
-		model  = flag.String("model", "both", "model: simple|effnet|both")
-		rounds = flag.Int("rounds", 10, "communication rounds")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		fast   = flag.Bool("fast", false, "reduced scale for smoke testing")
-		csv    = flag.Bool("csv", false, "also print CSV grids")
+		exp      = flag.String("exp", "all", "experiment: table1|tables234|tradeoff|netperf|all")
+		model    = flag.String("model", "both", "model: simple|effnet|both")
+		rounds   = flag.Int("rounds", 10, "communication rounds")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		fast     = flag.Bool("fast", false, "reduced scale for smoke testing")
+		csv      = flag.Bool("csv", false, "also print CSV grids")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential); results are bit-identical at any setting")
 	)
 	flag.Parse()
 
@@ -42,9 +45,10 @@ func main() {
 	}
 
 	opts := waitornot.Options{
-		Clients: 3,
-		Rounds:  *rounds,
-		Seed:    *seed,
+		Clients:     3,
+		Rounds:      *rounds,
+		Seed:        *seed,
+		Parallelism: *parallel,
 	}
 	if *fast {
 		opts.TrainPerClient = 200
@@ -116,7 +120,7 @@ func main() {
 			{Kind: waitornot.FirstK, K: 4},
 			{Kind: waitornot.Timeout, TimeoutMs: 6000},
 		}
-		for _, st := range waitornot.RoundLatencyByPolicy(8, policies, *seed) {
+		for _, st := range waitornot.RoundLatencyByPolicy(8, policies, *seed, *parallel) {
 			fmt.Printf("  %-16s mean wait %8.1f ms   mean models %5.2f   mean age %8.1f ms\n",
 				st.Policy, st.MeanWaitMs, st.MeanIncluded, st.MeanAgeMs)
 		}
@@ -124,7 +128,7 @@ func main() {
 
 	doNetperf := func() {
 		fmt.Println("throughput vs co-located peers (shared-host model, §II-A2 / VFChain premise):")
-		for _, pt := range waitornot.ThroughputVsPeers([]int{4, 8, 16, 32, 64}, *seed) {
+		for _, pt := range waitornot.ThroughputVsPeers([]int{4, 8, 16, 32, 64}, *seed, *parallel) {
 			fmt.Printf("  %-10s %8.1f tx/s   mean commit latency %9.1f ms\n",
 				pt.Label, pt.CommittedPerSec, pt.MeanLatencyMs)
 		}
@@ -132,7 +136,7 @@ func main() {
 		// A SimpleNN submission is ~247 KB ≈ 4M calldata gas.
 		txGas := uint64(4_000_000)
 		limits := []uint64{4_000_000, 8_000_000, 16_000_000, 64_000_000, 256_000_000}
-		for _, pt := range waitornot.ThroughputVsBlockGas(limits, txGas, *seed) {
+		for _, pt := range waitornot.ThroughputVsBlockGas(limits, txGas, *seed, *parallel) {
 			fmt.Printf("  %-16s %8.1f tx/s   mean commit latency %9.1f ms\n",
 				pt.Label, pt.CommittedPerSec, pt.MeanLatencyMs)
 		}

@@ -1,0 +1,3 @@
+module waitornot
+
+go 1.22

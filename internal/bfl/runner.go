@@ -26,6 +26,7 @@ import (
 	"waitornot/internal/fl"
 	"waitornot/internal/keys"
 	"waitornot/internal/nn"
+	"waitornot/internal/par"
 	"waitornot/internal/xrand"
 )
 
@@ -73,6 +74,14 @@ type Config struct {
 	// (the abnormal-client scenario).
 	PoisonPeer int
 	PoisonFrac float64
+	// Parallelism bounds the worker pool for per-peer local training,
+	// per-peer aggregation decisions, and the per-peer combination
+	// searches. 0 means runtime.NumCPU(); 1 restores the exact
+	// sequential schedule. Every peer trains from its own model and
+	// pre-derived RNG stream and every result lands in an
+	// index-addressed slot, so results are bit-identical at any
+	// setting (see internal/par).
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +211,9 @@ type peerState struct {
 	// simTrainMs is the deterministic training-duration model used for
 	// arrival times (samples x epochs x per-sample cost x straggler).
 	simTrainMs float64
+	// testEvals are worker evaluators over the peer's test set, used to
+	// score the Tables II-IV combination grid concurrently.
+	testEvals []fl.Evaluator
 }
 
 // perSampleCostMs approximates one training pass's cost, used only by
@@ -274,6 +286,13 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 		peerKeys[i] = keys.GenerateDeterministic(cfg.Seed*1009 + uint64(i))
 		alloc[peerKeys[i].Address()] = 1 << 62
 	}
+	workers := par.Workers(cfg.Parallelism)
+	// Worker-evaluator pools for the per-peer combination searches are
+	// capped by the number of combinations a peer ever enumerates.
+	comboWorkers := workers
+	if n := len(fl.PaperCombos(cfg.Peers, 0)); comboWorkers > n {
+		comboWorkers = n
+	}
 	peers := make([]*peerState, cfg.Peers)
 	for i := range peers {
 		name := fl.ClientName(i)
@@ -295,6 +314,14 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 			simTrainMs: float64(shards[i].Len()*cfg.Hyper.LocalEpochs) * perSampleCostMs(cfg.Model) * straggler,
 		}
 		p.agg = core.NewAggregator(name, cfg.Policy, cfg.Filter, client.SelectionEvaluator(), root.Derive("ties-"+name))
+		if comboWorkers > 1 {
+			// Independent scratch models let one peer's combination
+			// search fan out without touching the client's model.
+			p.agg.WorkerEvals = fl.SelectionEvaluators(cfg.Model, sel, comboWorkers)
+			if cfg.EvalAllCombos {
+				p.testEvals = fl.SelectionEvaluators(cfg.Model, test, comboWorkers)
+			}
+		}
 		peers[i] = p
 	}
 
@@ -334,13 +361,18 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 
 	trainStart := time.Now()
 	for round := 1; round <= cfg.Rounds; round++ {
-		// 1. Local training (each peer from its adopted weights).
+		// 1. Local training (each peer from its adopted weights). Peers
+		// train concurrently: each owns its model and RNG stream, and
+		// each writes only its own result slot.
 		updates := make([]*fl.Update, cfg.Peers)
-		for i, p := range peers {
-			if err := p.client.Adopt(p.adopted); err != nil {
-				return nil, nil, err
+		if err := par.ForEach(workers, cfg.Peers, func(i int) error {
+			if err := peers[i].client.Adopt(peers[i].adopted); err != nil {
+				return err
 			}
-			updates[i] = p.client.LocalTrain(round)
+			updates[i] = peers[i].client.LocalTrain(round)
+			return nil
+		}); err != nil {
+			return nil, nil, err
 		}
 
 		// 2. Submit signed model transactions; gossip to every mempool.
@@ -363,18 +395,23 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 
 		// 3. Each peer reads the round's submissions from its own chain
 		// view, reconstructs updates, applies its wait policy over the
-		// arrival-time model, decides, and records the decision.
-		var decTxs []*chain.Transaction
+		// arrival-time model, decides, and records the decision. Peers
+		// decide concurrently: every peer reads its own chain (chain
+		// reads are lock-protected and side-effect free), mutates only
+		// its own state, and fills index-addressed slots, so the block
+		// assembled below is identical to the sequential run's.
+		decTxs := make([]*chain.Transaction, cfg.Peers)
 		remoteArrival := arrivalTimes(cfg, peers, updates)
-		for i, p := range peers {
+		if err := par.ForEach(workers, cfg.Peers, func(i int) error {
+			p := peers[i]
 			onChain, err := readUpdates(p.chain, round)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+				return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
 			}
 			included, waitMs := applyPolicy(cfg.Policy, p.name, p.simTrainMs, onChain, remoteArrival)
 			decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), cfg.Peers)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+				return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
 			}
 			p.adopted = decision.Chosen.Weights
 
@@ -394,12 +431,22 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 			if cfg.EvalAllCombos {
 				combos := fl.PaperCombos(cfg.Peers, i)
 				row := make([]float64, 0, len(combos))
-				for _, combo := range combos {
-					w, err := fl.FedAvg(combo.Pick(onChain))
+				if len(p.testEvals) > 1 {
+					results, err := fl.EvaluateCombosWith(onChain, combos, p.testEvals)
 					if err != nil {
-						return nil, nil, err
+						return err
 					}
-					row = append(row, p.client.TestAccuracy(w))
+					for _, r := range results {
+						row = append(row, r.Accuracy)
+					}
+				} else {
+					for _, combo := range combos {
+						w, err := fl.FedAvg(combo.Pick(onChain))
+						if err != nil {
+							return err
+						}
+						row = append(row, p.client.TestAccuracy(w))
+					}
 				}
 				res.ComboAccuracy[i] = append(res.ComboAccuracy[i], row)
 			}
@@ -408,10 +455,13 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 			payload := contract.RecordCallData(uint64(round), chosenLabel, rh, uint64(len(decision.Chosen.Combo)))
 			tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 1_000_000, 1)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			p.nonce++
-			decTxs = append(decTxs, tx)
+			decTxs[i] = tx
+			return nil
+		}); err != nil {
+			return nil, nil, err
 		}
 		virtualMs += uint64(cfg.Chain.TargetIntervalMs)
 		if err := mineAndApply(peers, leader, decTxs, virtualMs); err != nil {

@@ -174,6 +174,12 @@ type Aggregator struct {
 	Filter Filter
 	// Eval scores weight vectors on the peer's selection set.
 	Eval fl.Evaluator
+	// WorkerEvals, when set, evaluates candidate combinations
+	// concurrently — one independent evaluator (own scratch model)
+	// per worker. Each evaluator must be pure given a weight vector
+	// and agree with Eval, so decisions are bit-identical to the
+	// sequential search. Nil or length 1 keeps the sequential path.
+	WorkerEvals []fl.Evaluator
 
 	rng *xrand.RNG
 }
@@ -215,7 +221,11 @@ func (a *Aggregator) Decide(round int, updates []*fl.Update, waited time.Duratio
 	}
 
 	combos := fl.PaperCombos(len(kept), selfIdx)
-	results, err := fl.EvaluateCombos(kept, combos, a.Eval)
+	evals := a.WorkerEvals
+	if len(evals) == 0 {
+		evals = []fl.Evaluator{a.Eval}
+	}
+	results, err := fl.EvaluateCombosWith(kept, combos, evals)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s round %d: %w", a.Self, round, err)
 	}

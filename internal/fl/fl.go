@@ -11,6 +11,7 @@ import (
 
 	"waitornot/internal/dataset"
 	"waitornot/internal/nn"
+	"waitornot/internal/par"
 	"waitornot/internal/tensor"
 	"waitornot/internal/xrand"
 )
@@ -170,15 +171,48 @@ type ComboResult struct {
 // EvaluateCombos aggregates each combo with FedAvg and scores it with
 // eval, returning results in the combos' order.
 func EvaluateCombos(updates []*Update, combos []Combo, eval Evaluator) ([]ComboResult, error) {
-	out := make([]ComboResult, 0, len(combos))
-	for _, c := range combos {
+	return EvaluateCombosWith(updates, combos, []Evaluator{eval})
+}
+
+// EvaluateCombosWith is EvaluateCombos with one evaluator per worker:
+// combos are scored concurrently on len(evals) workers, each worker
+// reusing its own evaluator's scratch model. Results land in a
+// pre-sized slice indexed by combo position, and each evaluation is a
+// pure function of the weight vector, so the output is bit-identical
+// to the sequential EvaluateCombos regardless of scheduling. A single
+// evaluator degenerates to the exact sequential loop.
+func EvaluateCombosWith(updates []*Update, combos []Combo, evals []Evaluator) ([]ComboResult, error) {
+	if len(evals) == 0 {
+		return nil, fmt.Errorf("fl: EvaluateCombosWith needs at least one evaluator")
+	}
+	out := make([]ComboResult, len(combos))
+	err := par.ForEachWorker(len(evals), len(combos), func(worker, i int) error {
+		c := combos[i]
 		w, err := FedAvg(c.Pick(updates))
 		if err != nil {
-			return nil, fmt.Errorf("fl: combo %v: %w", c, err)
+			return fmt.Errorf("fl: combo %v: %w", c, err)
 		}
-		out = append(out, ComboResult{Combo: c, Weights: w, Accuracy: eval(w)})
+		out[i] = ComboResult{Combo: c, Weights: w, Accuracy: evals[worker](w)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SelectionEvaluators builds n independent accuracy evaluators over the
+// same selection set, one scratch model each — the worker pool
+// EvaluateCombosWith expects. n < 1 is treated as 1.
+func SelectionEvaluators(id nn.ModelID, s *dataset.Set, n int) []Evaluator {
+	if n < 1 {
+		n = 1
+	}
+	evals := make([]Evaluator, n)
+	for i := range evals {
+		evals[i] = NewAccuracyEvaluator(id, s)
+	}
+	return evals
 }
 
 // BestCombo returns the highest-accuracy result; ties go to the earliest

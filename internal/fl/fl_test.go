@@ -382,3 +382,65 @@ func TestNewAccuracyEvaluatorBounds(t *testing.T) {
 		t.Fatalf("accuracy %v", acc)
 	}
 }
+
+// TestEvaluateCombosWithMatchesSequential: the concurrent combination
+// search must produce results identical to the sequential one, in the
+// same order, for any worker count.
+func TestEvaluateCombosWithMatchesSequential(t *testing.T) {
+	ups := []*Update{
+		upd("A", 1, 1, 0), upd("B", 2, 0, 1),
+		upd("C", 3, 2, 2), upd("D", 1, 3, 1),
+	}
+	combos := AllCombos(4)
+	eval := func(w []float32) float64 { return float64(w[0])*10 + float64(w[1]) }
+	seq, err := EvaluateCombos(ups, combos, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		evals := make([]Evaluator, workers)
+		for i := range evals {
+			evals[i] = eval
+		}
+		got, err := EvaluateCombosWith(ups, combos, evals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Fatalf("workers=%d: parallel combo results differ from sequential", workers)
+		}
+	}
+}
+
+func TestEvaluateCombosWithErrors(t *testing.T) {
+	ups := []*Update{upd("A", 1, 1, 0), upd("B", 0, 0, 1)} // B invalid
+	eval := func(w []float32) float64 { return 0 }
+	if _, err := EvaluateCombosWith(ups, AllCombos(2), nil); err == nil {
+		t.Fatal("zero evaluators accepted")
+	}
+	evals := []Evaluator{eval, eval}
+	if _, err := EvaluateCombosWith(ups, AllCombos(2), evals); err == nil {
+		t.Fatal("invalid update not surfaced by parallel search")
+	}
+}
+
+// TestSelectionEvaluatorsIndependent: every evaluator in the pool owns
+// its own scratch model, agrees with its siblings, and is pure.
+func TestSelectionEvaluatorsIndependent(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	set := dataset.Generate(cfg, 40, xrand.New(2))
+	evals := SelectionEvaluators(nn.ModelSimpleNN, set, 3)
+	if len(evals) != 3 {
+		t.Fatalf("got %d evaluators", len(evals))
+	}
+	w := nn.ModelSimpleNN.Build(xrand.New(5)).WeightVector()
+	want := evals[0](w)
+	for i, e := range evals {
+		if got := e(w); got != want {
+			t.Fatalf("evaluator %d disagrees: %v vs %v", i, got, want)
+		}
+	}
+	if got := SelectionEvaluators(nn.ModelSimpleNN, set, 0); len(got) != 1 {
+		t.Fatalf("n<1 must clamp to one evaluator, got %d", len(got))
+	}
+}

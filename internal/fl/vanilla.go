@@ -5,6 +5,7 @@ import (
 
 	"waitornot/internal/dataset"
 	"waitornot/internal/nn"
+	"waitornot/internal/par"
 	"waitornot/internal/xrand"
 )
 
@@ -61,6 +62,11 @@ type VanillaConfig struct {
 	// Pretrain overrides the EffNetSim warm start; zero value means
 	// DefaultPretrain() for EffNetSim and no pretraining for SimpleNN.
 	Pretrain PretrainSpec
+	// Parallelism bounds the worker pool for per-client training, the
+	// consider-policy combination search, and test evaluation. 0 means
+	// runtime.NumCPU(); 1 restores the exact sequential schedule.
+	// Results are bit-identical at every setting (see internal/par).
+	Parallelism int
 }
 
 // withDefaults fills unset fields.
@@ -198,8 +204,10 @@ func (env *environment) buildClients(arm string) []*Client {
 func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 	cfg := env.cfg
 	clients := env.buildClients(mode.String())
-	// The aggregator's scratch evaluator for the consider search.
-	aggEval := NewAccuracyEvaluator(cfg.Model, env.selection)
+	workers := par.Workers(cfg.Parallelism)
+	// The aggregator's scratch evaluators for the consider search, one
+	// per worker, reused across rounds.
+	aggEvals := SelectionEvaluators(cfg.Model, env.selection, workers)
 	combos := AllCombos(cfg.Clients)
 
 	res := &ArmResult{
@@ -217,12 +225,18 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 
 	global := env.initial
 	for round := 1; round <= cfg.Rounds; round++ {
+		// Each client trains from its own model, shard, and derived RNG
+		// stream, so the round parallelizes with bit-identical results.
 		updates := make([]*Update, cfg.Clients)
-		for i, c := range clients {
-			if err := c.Adopt(global); err != nil {
-				return nil, err
+		err := par.ForEach(workers, cfg.Clients, func(i int) error {
+			if err := clients[i].Adopt(global); err != nil {
+				return err
 			}
-			updates[i] = c.LocalTrain(round)
+			updates[i] = clients[i].LocalTrain(round)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		switch mode {
 		case ModeNotConsider:
@@ -237,7 +251,7 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 			}
 			res.ChosenCombos = append(res.ChosenCombos, all.Label(names))
 		case ModeConsider:
-			results, err := EvaluateCombos(updates, combos, aggEval)
+			results, err := EvaluateCombosWith(updates, combos, aggEvals)
 			if err != nil {
 				return nil, err
 			}
@@ -247,8 +261,16 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 		default:
 			return nil, fmt.Errorf("fl: unknown aggregation mode %v", mode)
 		}
-		for i, c := range clients {
-			res.Accuracy[i] = append(res.Accuracy[i], c.TestAccuracy(global))
+		accs := make([]float64, cfg.Clients)
+		err = par.ForEach(workers, cfg.Clients, func(i int) error {
+			accs[i] = clients[i].TestAccuracy(global)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range clients {
+			res.Accuracy[i] = append(res.Accuracy[i], accs[i])
 		}
 	}
 	return res, nil

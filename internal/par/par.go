@@ -1,0 +1,176 @@
+// Package par is the repository's deterministic parallel execution
+// engine: a bounded worker pool over an index space with
+// index-addressed result slots.
+//
+// # Determinism contract
+//
+// Every function in this package guarantees that its observable output
+// is a pure function of (n, fn) and never of goroutine scheduling:
+//
+//   - Work item i writes only to slot i of its output; slots are
+//     pre-sized, so completion order cannot reorder results.
+//   - The returned error is the error of the LOWEST failing index
+//     ("first error wins" in the sequential sense), regardless of
+//     which worker hit an error first in wall-clock time.
+//   - Panics propagate: if any item panics, the pool drains and the
+//     panic of the lowest panicking index is re-raised on the caller's
+//     goroutine, wrapped in a *Panic that preserves the original value
+//     and the worker's stack.
+//   - workers <= 1 degenerates to a plain sequential loop on the
+//     caller's goroutine — the exact sequential schedule, useful as the
+//     bit-reproducibility baseline.
+//
+// Callers remain responsible for making fn(i) independent of fn(j):
+// the idiom across this repository is to pre-seed each item with its
+// own xrand stream (derived by label, not by draw order) and give each
+// worker its own scratch model, so running items concurrently is
+// bit-identical to running them one by one.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Panic wraps a panic recovered from a worker goroutine so it can be
+// re-raised on the caller's goroutine without losing the worker stack.
+type Panic struct {
+	// Index is the work item that panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error (a *Panic is re-panicked, but implementing
+// error makes it printable if someone recovers it).
+func (p *Panic) Error() string {
+	return fmt.Sprintf("par: item %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Workers resolves a parallelism knob: n <= 0 means runtime.NumCPU(),
+// anything else is returned as-is. Centralizing this keeps every
+// Parallelism field in the repository on the same convention
+// (0 = auto, 1 = sequential, N = N workers).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines and returns the error of the lowest failing index, or nil.
+// n <= 0 is a no-op. See the package comment for the determinism
+// contract. Unlike the sequential loop, items after a failing index
+// still run (their effects are discarded by the caller along with the
+// error); only the reported error matches the sequential run.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's identity passed to fn:
+// worker is a stable id in [0, min(workers, n)). It exists so callers
+// can give each worker private scratch state (a scratch model, a
+// reusable buffer) allocated once per worker instead of once per item.
+// fn must not let the worker id influence item i's result — only which
+// scratch arena computes it.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := runSequential(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)    // index-addressed: slot i belongs to item i
+	panics := make([]*Panic, n) // ditto
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runItem(worker, i, fn, errs, panics)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// runSequential executes one item on the caller's goroutine, wrapping
+// a panic in *Panic so sequential and parallel runs raise the same
+// type (the stack is the caller's own here, so it is left nil).
+func runSequential(i int, fn func(worker, i int) error) error {
+	defer func() {
+		if r := recover(); r != nil {
+			if p, ok := r.(*Panic); ok {
+				panic(p)
+			}
+			panic(&Panic{Index: i, Value: r, Stack: debug.Stack()})
+		}
+	}()
+	return fn(0, i)
+}
+
+// runItem executes one work item, capturing a panic into its slot so
+// the pool can keep draining and the caller sees the lowest index.
+func runItem(worker, i int, fn func(worker, i int) error, errs []error, panics []*Panic) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = &Panic{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	errs[i] = fn(worker, i)
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. n <= 0 returns (nil, nil),
+// mirroring ForEach's no-op. On error the slice is nil and the error
+// is the lowest failing index's (see ForEach).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

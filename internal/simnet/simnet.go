@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"waitornot/internal/core"
+	"waitornot/internal/par"
 	"waitornot/internal/xrand"
 )
 
@@ -100,6 +101,10 @@ type ThroughputConfig struct {
 	DurationMs float64
 	// Seed drives arrival/sealing jitter.
 	Seed uint64
+	// Parallelism bounds the sweep helpers' worker pool (0 = all
+	// cores, 1 = sequential). Individual simulations are single
+	// threaded and deterministic either way.
+	Parallelism int
 }
 
 // Throughput is one simulated operating point.
@@ -186,24 +191,31 @@ func SimulateThroughput(cfg ThroughputConfig) Throughput {
 
 // SweepPeers runs SimulateThroughput over several peer counts
 // (everything else fixed) — the VFChain-style scaling experiment.
+// Operating points are independent simulations of the same seed, so
+// they run concurrently with results landing in peer-count order.
 func SweepPeers(base ThroughputConfig, peerCounts []int) []Throughput {
-	out := make([]Throughput, 0, len(peerCounts))
-	for _, n := range peerCounts {
+	out, err := par.Map(par.Workers(base.Parallelism), len(peerCounts), func(i int) (Throughput, error) {
 		cfg := base
-		cfg.Peers = n
-		out = append(out, SimulateThroughput(cfg))
+		cfg.Peers = peerCounts[i]
+		return SimulateThroughput(cfg), nil
+	})
+	if err != nil { // unreachable: the simulation never errors
+		panic(err)
 	}
 	return out
 }
 
 // SweepBlockGas runs SimulateThroughput over several block gas limits —
-// the block-capacity experiment (refs [11], [12]).
+// the block-capacity experiment (refs [11], [12]). Points run
+// concurrently, landing in limit order (see SweepPeers).
 func SweepBlockGas(base ThroughputConfig, limits []uint64) []Throughput {
-	out := make([]Throughput, 0, len(limits))
-	for _, l := range limits {
+	out, err := par.Map(par.Workers(base.Parallelism), len(limits), func(i int) (Throughput, error) {
 		cfg := base
-		cfg.BlockGasLimit = l
-		out = append(out, SimulateThroughput(cfg))
+		cfg.BlockGasLimit = limits[i]
+		return SimulateThroughput(cfg), nil
+	})
+	if err != nil { // unreachable: the simulation never errors
+		panic(err)
 	}
 	return out
 }

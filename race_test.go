@@ -1,0 +1,81 @@
+// Race smoke tests: short configurations that push every parallelized
+// path — per-peer training, the combination searches, per-peer
+// decisions, the per-policy trade-off loop, and the sweep helpers —
+// through the worker pool with parallelism > 1. Run under the race
+// detector (make test-race / go test -race) these catch any shared
+// mutable state the determinism tests cannot see.
+package waitornot_test
+
+import (
+	"testing"
+
+	"waitornot"
+	"waitornot/internal/bfl"
+	"waitornot/internal/core"
+	"waitornot/internal/nn"
+)
+
+func TestRaceSmokeDecentralized(t *testing.T) {
+	cfg := bfl.Config{
+		Model:         nn.ModelSimpleNN,
+		Peers:         4,
+		Rounds:        1,
+		Seed:          9,
+		TrainPerPeer:  60,
+		SelectionSize: 30,
+		TestPerPeer:   30,
+		EvalAllCombos: true,
+		Filter:        core.Filter{MaxBelowBest: 0.5},
+		Parallelism:   8,
+	}
+	res, err := bfl.RunDecentralized(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 || len(res.Rounds[0]) != 1 {
+		t.Fatalf("unexpected shape: %d peers, %d rounds", len(res.Rounds), len(res.Rounds[0]))
+	}
+}
+
+func TestRaceSmokeTradeoff(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         3,
+		Rounds:          1,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		StragglerFactor: []float64{1, 1, 3},
+		Parallelism:     8,
+	}
+	rep, err := waitornot.RunTradeoff(opts, waitornot.DefaultPolicies(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 3 {
+		t.Fatalf("outcomes = %+v", rep.Outcomes)
+	}
+}
+
+func TestRaceSmokeVanilla(t *testing.T) {
+	opts := waitornot.Options{
+		Model:          waitornot.SimpleNN,
+		Clients:        4,
+		Rounds:         1,
+		Seed:           9,
+		TrainPerClient: 60,
+		SelectionSize:  30,
+		TestPerClient:  30,
+		Parallelism:    8,
+	}
+	if _, err := waitornot.RunVanilla(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaceSmokeSweeps(t *testing.T) {
+	waitornot.ThroughputVsPeers([]int{2, 4, 8}, 9)
+	waitornot.ThroughputVsBlockGas([]uint64{1_000_000, 10_000_000}, 100_000, 9)
+	waitornot.RoundLatencyByPolicy(6, waitornot.DefaultPolicies(6), 9)
+}

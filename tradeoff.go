@@ -5,6 +5,7 @@ import (
 
 	"waitornot/internal/core"
 	"waitornot/internal/metrics"
+	"waitornot/internal/par"
 	"waitornot/internal/simnet"
 )
 
@@ -30,17 +31,29 @@ type TradeoffReport struct {
 
 // RunTradeoff runs the decentralized experiment once per policy
 // (identical data, seeds, and initial weights) and summarizes the
-// speed-vs-precision frontier.
+// speed-vs-precision frontier. The per-policy runs are fully
+// independent — same seed, different wait policy — so they execute
+// concurrently under Options.Parallelism with outcomes landing in
+// policy order. The worker budget is split across nesting levels:
+// with P policies running concurrently, each nested experiment gets
+// roughly Parallelism/P workers for its own training pool, keeping
+// total concurrency near the knob rather than multiplying by it.
 func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
 	opts = opts.withDefaults()
 	opts.SkipComboTables = true
-	out := &TradeoffReport{Model: opts.Model}
-	for _, p := range policies {
+	workers := par.Workers(opts.Parallelism)
+	if inner := workers / max(1, len(policies)); inner >= 1 {
+		opts.Parallelism = inner
+	} else {
+		opts.Parallelism = 1
+	}
+	outcomes, err := par.Map(workers, len(policies), func(i int) (PolicyOutcome, error) {
+		p := policies[i]
 		o := opts
 		o.Policy = p
 		rep, err := RunDecentralized(o)
 		if err != nil {
-			return nil, fmt.Errorf("policy %s: %w", p.Name(), err)
+			return PolicyOutcome{}, fmt.Errorf("policy %s: %w", p.Name(), err)
 		}
 		var acc, wait, included float64
 		var waitN int
@@ -53,14 +66,17 @@ func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
 				waitN++
 			}
 		}
-		out.Outcomes = append(out.Outcomes, PolicyOutcome{
+		return PolicyOutcome{
 			Policy:        p.Name(),
 			FinalAccuracy: acc / float64(len(rep.Rounds)),
 			MeanWaitMs:    wait / float64(waitN),
 			MeanIncluded:  included / float64(waitN),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &TradeoffReport{Model: opts.Model, Outcomes: outcomes}, nil
 }
 
 // Table renders the trade-off frontier.
@@ -84,9 +100,12 @@ type NetworkPoint struct {
 }
 
 // ThroughputVsPeers reproduces the §II-A2 scaling premise: committed
-// transaction throughput as co-located peer count grows.
-func ThroughputVsPeers(peerCounts []int, seed uint64) []NetworkPoint {
+// transaction throughput as co-located peer count grows. The optional
+// trailing argument bounds the sweep's worker pool (omitted or 0 =
+// all cores, 1 = sequential); points are deterministic either way.
+func ThroughputVsPeers(peerCounts []int, seed uint64, parallelism ...int) []NetworkPoint {
 	base := simnet.ThroughputConfig{
+		Parallelism:     optionalParallelism(parallelism),
 		TxExecMs:        2,
 		HostCores:       2,
 		BlockIntervalMs: 1000,
@@ -110,9 +129,11 @@ func ThroughputVsPeers(peerCounts []int, seed uint64) []NetworkPoint {
 
 // ThroughputVsBlockGas reproduces the block-capacity premise (refs
 // [11], [12]): throughput as the block gas limit varies relative to a
-// model-sized transaction.
-func ThroughputVsBlockGas(limits []uint64, txGas uint64, seed uint64) []NetworkPoint {
+// model-sized transaction. The optional trailing argument bounds the
+// sweep's worker pool (see ThroughputVsPeers).
+func ThroughputVsBlockGas(limits []uint64, txGas uint64, seed uint64, parallelism ...int) []NetworkPoint {
 	base := simnet.ThroughputConfig{
+		Parallelism:     optionalParallelism(parallelism),
 		Peers:           3,
 		TxExecMs:        0.5,
 		HostCores:       6,
@@ -136,8 +157,12 @@ func ThroughputVsBlockGas(limits []uint64, txGas uint64, seed uint64) []NetworkP
 
 // RoundLatencyByPolicy simulates many aggregation rounds per policy on
 // the virtual clock (no training), reporting wait time, participation,
-// and update staleness ("age of block").
-func RoundLatencyByPolicy(peers int, policies []Policy, seed uint64) []simnet.RoundStats {
+// and update staleness ("age of block"). Each policy's simulation is
+// an independent deterministic run of the same seed, so policies are
+// simulated concurrently with stats landing in policy order. The
+// optional trailing argument bounds the worker pool (see
+// ThroughputVsPeers).
+func RoundLatencyByPolicy(peers int, policies []Policy, seed uint64, parallelism ...int) []simnet.RoundStats {
 	cfg := simnet.RoundConfig{
 		Peers:           peers,
 		MeanTrainMs:     5000,
@@ -148,11 +173,22 @@ func RoundLatencyByPolicy(peers int, policies []Policy, seed uint64) []simnet.Ro
 		Rounds:          1000,
 		Seed:            seed,
 	}
-	out := make([]simnet.RoundStats, 0, len(policies))
-	for _, p := range policies {
-		out = append(out, simnet.SimulateRounds(cfg, p.internal()))
+	out, err := par.Map(par.Workers(optionalParallelism(parallelism)), len(policies), func(i int) (simnet.RoundStats, error) {
+		return simnet.SimulateRounds(cfg, policies[i].internal()), nil
+	})
+	if err != nil { // unreachable: the simulation never errors
+		panic(err)
 	}
 	return out
+}
+
+// optionalParallelism resolves a trailing optional parallelism
+// argument: absent means 0 (all cores).
+func optionalParallelism(p []int) int {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
 }
 
 // DefaultPolicies returns the policy ladder the trade-off study sweeps:

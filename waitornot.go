@@ -136,6 +136,13 @@ type Options struct {
 	// LocalEpochs overrides the per-round local epochs (0 = 5, the
 	// paper's protocol).
 	LocalEpochs int
+	// Parallelism bounds the engine's worker pools: per-peer local
+	// training, the combination searches, and the per-policy runs of
+	// RunTradeoff. 0 means runtime.NumCPU(); 1 restores the exact
+	// sequential schedule. Results are bit-identical at every setting
+	// — the engine pre-derives every RNG stream and writes results to
+	// index-addressed slots (see internal/par).
+	Parallelism int
 
 	// Policy is the decentralized wait policy (default WaitAll).
 	Policy Policy
@@ -219,6 +226,7 @@ func (o Options) vanilla() fl.VanillaConfig {
 		DirichletAlpha: o.DirichletAlpha,
 		Pretrain:       o.pretrain(),
 		Hyper:          o.hyper(),
+		Parallelism:    o.Parallelism,
 	}
 }
 
@@ -241,5 +249,6 @@ func (o Options) decentralized() bfl.Config {
 		StragglerFactor: o.StragglerFactor,
 		PoisonPeer:      o.PoisonClient,
 		PoisonFrac:      o.PoisonFraction,
+		Parallelism:     o.Parallelism,
 	}
 }

@@ -141,6 +141,66 @@ func TestDefaultPoliciesLadder(t *testing.T) {
 	}
 }
 
+func TestDefaultPoliciesLadderSizes(t *testing.T) {
+	// Two peers: synchronous plus fully asynchronous, nothing between.
+	ps := DefaultPolicies(2)
+	if len(ps) != 2 || ps[0].Kind != WaitAll || ps[1].Kind != FirstK || ps[1].K != 1 {
+		t.Fatalf("2-peer ladder = %+v", ps)
+	}
+	// Five peers: wait-all then first-4 down to first-1, strictly
+	// descending — the full frontier from sync to async.
+	ps = DefaultPolicies(5)
+	if len(ps) != 5 {
+		t.Fatalf("5-peer ladder has %d rungs", len(ps))
+	}
+	if ps[0].Kind != WaitAll || ps[0].Name() != "wait-all" {
+		t.Fatalf("ladder must start synchronous, got %+v", ps[0])
+	}
+	for i, want := 1, 4; want >= 1; i, want = i+1, want-1 {
+		if ps[i].Kind != FirstK || ps[i].K != want {
+			t.Fatalf("rung %d = %+v, want first-%d", i, ps[i], want)
+		}
+	}
+}
+
+func TestRoundLatencyByPolicyFrontier(t *testing.T) {
+	policies := []Policy{
+		{Kind: WaitAll},
+		{Kind: FirstK, K: 2},
+		{Kind: Timeout, TimeoutMs: 4000},
+		{Kind: KOrTimeout, K: 3, TimeoutMs: 4000},
+	}
+	stats := RoundLatencyByPolicy(4, policies, 1)
+	if len(stats) != len(policies) {
+		t.Fatalf("got %d stats for %d policies", len(stats), len(policies))
+	}
+	// Stats land in policy order regardless of the concurrent sweep.
+	for i, p := range policies {
+		if stats[i].Policy != p.Name() {
+			t.Fatalf("stats[%d] = %q, want %q", i, stats[i].Policy, p.Name())
+		}
+	}
+	waitAll := stats[0]
+	if waitAll.MeanIncluded != 4 {
+		t.Fatalf("wait-all included %.2f of 4 models", waitAll.MeanIncluded)
+	}
+	for i, st := range stats {
+		if st.MeanWaitMs <= 0 || st.MeanIncluded < 1 || st.MeanIncluded > 4 || st.MeanAgeMs < 0 {
+			t.Fatalf("stats[%d] out of range: %+v", i, st)
+		}
+		// No policy can admit more models or (up to block quantization)
+		// wait longer than full synchrony.
+		if st.MeanIncluded > waitAll.MeanIncluded || st.MeanWaitMs > waitAll.MeanWaitMs {
+			t.Fatalf("policy %s beats wait-all on inclusion/wait: %+v vs %+v", st.Policy, st, waitAll)
+		}
+	}
+	// The bounded-timeout policy must save time over full synchrony
+	// with a 3x straggler in play.
+	if stats[2].MeanWaitMs >= stats[0].MeanWaitMs {
+		t.Fatalf("timeout wait %.1f not below wait-all %.1f", stats[2].MeanWaitMs, stats[0].MeanWaitMs)
+	}
+}
+
 func TestInvalidModelRejected(t *testing.T) {
 	opts := tinyOpts(Model(99))
 	if _, err := RunVanilla(opts); err == nil {
