@@ -2,11 +2,16 @@
 #
 #   make ci        everything the repository gates on: build + vet +
 #                  tests + the race-detector smoke over the parallel
-#                  execution engine.
+#                  execution engine + a bench-json smoke snapshot.
 
 GO ?= go
 
-.PHONY: build vet test test-race bench ci
+# bench-json writes a dated perf snapshot so the repo's performance
+# trajectory accumulates as machine-readable files (one per day;
+# override BENCH_JSON to pick the path).
+BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
+
+.PHONY: build vet test test-race bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -27,4 +32,13 @@ test-race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-ci: build vet test test-race
+# Perf snapshot: run the sequential-vs-parallel speedup suite once and
+# record name / ns-op / speedup-x as JSON (two steps so a bench
+# failure fails the target instead of vanishing into a pipe; the
+# intermediate is removed on success and failure alike).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 1x . > .bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench.out; \
+	    status=$$?; rm -f .bench.out; exit $$status
+
+ci: build vet test test-race bench-json

@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON performance snapshot, so the repository's perf trajectory can
+// accumulate as machine-readable files:
+//
+//	go test -run '^$' -bench 'BenchmarkParallel' -benchtime 1x . \
+//	    | go run ./cmd/benchjson -out BENCH_2026-07-30.json
+//
+// Every benchmark line is parsed into its name, iteration count,
+// ns/op, and all custom metrics (the BenchmarkParallel* suite reports
+// seq-sec/op, par-sec/op, and speedup-x); `make bench-json` wires this
+// into a dated snapshot and `make ci` runs it as a smoke check.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp is the harness's wall-clock metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// SpeedupX surfaces the suite's sequential-vs-parallel ratio when
+	// the benchmark reports one (the BenchmarkParallel* convention).
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+	// Metrics holds every unit -> value pair, custom metrics included.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file format: run metadata plus the benchmark rows.
+type Snapshot struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	GoOS        string      `json:"goos"`
+	GoArch      string      `json:"goarch"`
+	CPU         string      `json:"cpu,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			snap.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// parseBenchLine parses one testing-framework benchmark result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   2.95 speedup-x   ...
+//
+// Log lines, PASS/ok trailers, and malformed rows return ok=false.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		b.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "speedup-x":
+			b.SpeedupX = v
+		}
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -7,16 +7,27 @@
 //	repro -exp netperf           §II-A2 throughput premises
 //	repro -exp all               everything
 //
+// Beyond the paper grids, the scenario registry makes any registered
+// workload a one-liner (no flag wiring):
+//
+//	repro -scenarios             list registered scenarios
+//	repro -scenario async-ladder run one, streaming per-round progress
+//
 // Model selection: -model simple|effnet|both. Add -fast for a reduced
 // (smoke-test) scale, and -csv to emit machine-readable grids as well.
 // -parallel N bounds the engine's worker pools (0 = all cores, 1 =
-// sequential); every setting produces bit-identical tables.
+// sequential); every setting produces bit-identical tables. Runs
+// cancel cleanly on interrupt (Ctrl-C): the engine stops at the next
+// round boundary.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"waitornot"
@@ -25,14 +36,32 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|tables234|tradeoff|netperf|all")
+		scenario = flag.String("scenario", "", "run a registered scenario by name (see -scenarios)")
+		list     = flag.Bool("scenarios", false, "list registered scenarios and exit")
 		model    = flag.String("model", "both", "model: simple|effnet|both")
 		rounds   = flag.Int("rounds", 10, "communication rounds")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		fast     = flag.Bool("fast", false, "reduced scale for smoke testing")
 		csv      = flag.Bool("csv", false, "also print CSV grids")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential); results are bit-identical at any setting")
+		noStream = flag.Bool("quiet", false, "suppress the streamed progress events in -scenario mode")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *list {
+		fmt.Println("registered scenarios:")
+		for _, s := range waitornot.Scenarios() {
+			fmt.Printf("  %-18s %-14s %s\n", s.Name, "("+s.Kind.String()+")", s.Description)
+		}
+		return
+	}
+	if *scenario != "" {
+		runScenario(ctx, *scenario, *model, *seed, *rounds, *parallel, *fast, !*noStream)
+		return
+	}
 
 	models := map[string][]waitornot.Model{
 		"simple": {waitornot.SimpleNN},
@@ -63,54 +92,46 @@ func main() {
 		fmt.Printf("<== %s (%v)\n\n", name, time.Since(start).Round(time.Second))
 	}
 
+	// Every -exp experiment goes through the Experiment API with the
+	// interrupt context, so Ctrl-C cancels a full-scale run at the
+	// next round boundary instead of being swallowed.
+	runExperiment := func(o waitornot.Options, m waitornot.Model, extra ...waitornot.Option) *waitornot.Results {
+		o.Model = m
+		res, err := waitornot.New(o, extra...).Run(ctx)
+		if err != nil {
+			exitIfCancelled(err)
+			fatal(err)
+		}
+		return res
+	}
+
 	doTable1 := func() {
 		for _, m := range models {
-			o := opts
-			o.Model = m
-			rep, err := waitornot.RunVanilla(o)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(rep.TableI(m.String()))
-			fmt.Printf("consider-arm adopted combos per round: %v\n\n", rep.ConsiderCombos)
-			fmt.Println(rep.Figure3(m.String()))
+			res := runExperiment(opts, m, waitornot.WithKind(waitornot.KindVanilla))
+			printResults(res, m.String())
 			if *csv {
-				fmt.Println(rep.CSV())
+				fmt.Println(res.Vanilla.CSV())
 			}
 		}
 	}
 
 	doTables234 := func() {
 		for _, m := range models {
-			o := opts
-			o.Model = m
-			rep, err := waitornot.RunDecentralized(o)
-			if err != nil {
-				fatal(err)
-			}
-			for p := range rep.PeerNames {
-				fmt.Println(rep.PeerTable(p, m.String()))
-				fmt.Println()
-			}
-			fmt.Println(rep.Figure4(m.String()))
-			fmt.Printf("on-chain footprint: %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n\n",
-				rep.Chain.Blocks, rep.Chain.Txs, rep.Chain.Submissions, rep.Chain.Decisions,
-				float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)
+			res := runExperiment(opts, m, waitornot.WithKind(waitornot.KindDecentralized))
+			printResults(res, m.String())
 		}
 	}
 
 	doTradeoff := func() {
 		for _, m := range models {
 			o := opts
-			o.Model = m
 			// A 3x straggler makes the waiting question non-trivial, as
 			// in any real deployment with heterogeneous peers.
 			o.StragglerFactor = []float64{1, 1, 3}
-			rep, err := waitornot.RunTradeoff(o, waitornot.DefaultPolicies(3))
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(rep.Table())
+			res := runExperiment(o, m,
+				waitornot.WithKind(waitornot.KindTradeoff),
+				waitornot.WithPolicies(waitornot.DefaultPolicies(3)...))
+			printResults(res, m.String())
 			fmt.Println()
 		}
 		fmt.Println("virtual-clock round latency (8 peers, 3x straggler, 1000 rounds):")
@@ -159,6 +180,126 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -exp %q\n", *exp)
 		os.Exit(2)
+	}
+}
+
+// runScenario executes one registered scenario through the Experiment
+// API — streaming its typed progress events — and prints the report
+// matching the scenario's kind.
+func runScenario(ctx context.Context, name, model string, seed uint64, rounds, parallel int, fast, stream bool) {
+	sc, ok := waitornot.LookupScenario(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -scenario %q; registered:\n", name)
+		for _, s := range waitornot.Scenarios() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", s.Name, s.Description)
+		}
+		os.Exit(2)
+	}
+
+	modelLabel := sc.Options.Model
+	if modelLabel == 0 {
+		modelLabel = waitornot.SimpleNN
+	}
+	var overrides []waitornot.Option
+	// Flags the user set explicitly override the scenario's registered
+	// configuration; untouched flags leave it as registered.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			overrides = append(overrides, waitornot.WithSeed(seed))
+		case "rounds":
+			overrides = append(overrides, waitornot.WithRounds(rounds))
+		case "parallel":
+			overrides = append(overrides, waitornot.WithParallelism(parallel))
+		case "model":
+			switch model {
+			case "simple":
+				modelLabel = waitornot.SimpleNN
+			case "effnet":
+				modelLabel = waitornot.EffNetB0Sim
+			default:
+				fmt.Fprintln(os.Stderr, "-scenario runs one model; use -model simple or -model effnet")
+				os.Exit(2)
+			}
+			overrides = append(overrides, waitornot.WithModel(modelLabel))
+		}
+	})
+	if fast {
+		overrides = append(overrides, waitornot.WithFastScale())
+	}
+	if stream {
+		overrides = append(overrides, waitornot.WithObserverFunc(printEvent))
+	}
+
+	start := time.Now()
+	fmt.Printf("==> scenario %s — %s\n", sc.Name, sc.Description)
+	res, err := sc.Experiment(overrides...).Run(ctx)
+	if err != nil {
+		exitIfCancelled(err)
+		fatal(err)
+	}
+	printResults(res, modelLabel.String())
+	fmt.Printf("<== scenario %s (%v)\n", sc.Name, time.Since(start).Round(time.Second))
+}
+
+// exitIfCancelled turns a context cancellation (Ctrl-C) into the
+// conventional interrupt exit code.
+func exitIfCancelled(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "repro: run cancelled at the round boundary")
+		os.Exit(130)
+	}
+}
+
+// printResults renders whichever report the experiment kind produced.
+func printResults(res *waitornot.Results, model string) {
+	switch {
+	case res.Vanilla != nil:
+		fmt.Println(res.Vanilla.TableI(model))
+		fmt.Printf("consider-arm adopted combos per round: %v\n\n", res.Vanilla.ConsiderCombos)
+		fmt.Println(res.Vanilla.Figure3(model))
+	case res.Decentralized != nil:
+		rep := res.Decentralized
+		for p := range rep.PeerNames {
+			fmt.Println(rep.PeerTable(p, model))
+			fmt.Println()
+		}
+		fmt.Println(rep.Figure4(model))
+		fmt.Printf("on-chain footprint: %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n\n",
+			rep.Chain.Blocks, rep.Chain.Txs, rep.Chain.Submissions, rep.Chain.Decisions,
+			float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)
+	case res.Tradeoff != nil:
+		fmt.Println(res.Tradeoff.Table())
+	}
+}
+
+// printEvent streams one progress line per experiment event.
+func printEvent(ev waitornot.Event) {
+	arm := func(a string) string {
+		if a == "" {
+			return ""
+		}
+		return " [" + a + "]"
+	}
+	switch e := ev.(type) {
+	case waitornot.RoundStart:
+		fmt.Printf("-- round %d%s\n", e.Round, arm(e.Arm))
+	case waitornot.PeerTrained:
+		fmt.Printf("   trained    %s (%d samples)\n", e.Peer, e.Samples)
+	case waitornot.ModelSubmitted:
+		fmt.Printf("   submitted  %s (%.1f KB on-chain)\n", e.Peer, float64(e.Bytes)/1024)
+	case waitornot.AggregationDecided:
+		who := e.Peer
+		if who == "" {
+			who = "aggregator"
+		}
+		fmt.Printf("   aggregated %s: %d models in %.1f ms -> {%s} acc %.4f\n",
+			who, e.Included, e.WaitMs, e.ChosenCombo, e.Accuracy)
+	case waitornot.RoundEnd:
+		fmt.Printf("-- round %d done%s\n", e.Round, arm(e.Arm))
+	case waitornot.PolicyDone:
+		fmt.Printf("   policy     %-18s acc %.4f  wait %8.1f ms  models %.2f\n",
+			e.Policy, e.FinalAccuracy, e.MeanWaitMs, e.MeanIncluded)
 	}
 }
 

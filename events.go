@@ -1,0 +1,66 @@
+package waitornot
+
+import "waitornot/internal/event"
+
+// The streaming event layer: a running Experiment emits typed events
+// in deterministic logical order — the order the sequential schedule
+// (Parallelism: 1) would produce — no matter how many workers the
+// engine actually uses. Progress bars, live dashboards, and
+// early-stopping callers all consume the same stream, and attaching an
+// observer never changes a result bit (determinism is enforced by the
+// golden tests in events_test.go).
+//
+// Event order per decentralized round:
+//
+//	RoundStart → PeerTrained (per peer, in peer order)
+//	           → ModelSubmitted (per peer, after the submission block)
+//	           → AggregationDecided (per peer)
+//	           → RoundEnd
+//
+// The vanilla experiment emits the same skeleton once per aggregation
+// arm (Arm = "consider" / "not consider") with a single central
+// AggregationDecided per round; the trade-off study emits one
+// PolicyDone per policy, in sweep order.
+type (
+	// Event is one observation from a running experiment; switch on
+	// the concrete types below.
+	Event = event.Event
+	// RoundStart opens a communication round.
+	RoundStart = event.RoundStart
+	// PeerTrained reports one participant's completed local training.
+	PeerTrained = event.PeerTrained
+	// ModelSubmitted reports a model transaction committed on-chain.
+	ModelSubmitted = event.ModelSubmitted
+	// AggregationDecided reports one aggregation decision.
+	AggregationDecided = event.AggregationDecided
+	// RoundEnd closes a communication round.
+	RoundEnd = event.RoundEnd
+	// PolicyDone reports one completed policy of the trade-off sweep.
+	PolicyDone = event.PolicyDone
+)
+
+// EventString renders an event compactly for logs.
+func EventString(ev Event) string { return event.String(ev) }
+
+// Observer receives an Experiment's event stream. OnEvent calls are
+// serialized (never concurrent with each other) and arrive in
+// deterministic logical order; a slow observer slows the run but can
+// never reorder events or change results.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// observerSink adapts an Observer to the engine's internal sink type;
+// nil observers cost the engines a single nil check per event site.
+func observerSink(o Observer) event.Sink {
+	if o == nil {
+		return nil
+	}
+	return func(ev event.Event) { o.OnEvent(ev) }
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,11 +27,24 @@ func main() {
 		LearningRate:    0.01, // hotter than the full-scale calibration: small demo data
 		StragglerFactor: []float64{1, 1, 4},
 	}
-	rep, err := waitornot.RunTradeoff(opts, waitornot.DefaultPolicies(opts.Clients))
+	// The composable Experiment API: the policy sweep streams one
+	// PolicyDone per ladder rung (in order, even though the policies
+	// run concurrently) while the full table arrives at the end.
+	exp := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(waitornot.DefaultPolicies(opts.Clients)...),
+		waitornot.WithObserverFunc(func(ev waitornot.Event) {
+			if pd, ok := ev.(waitornot.PolicyDone); ok {
+				fmt.Printf("  done: %-10s final acc %.4f  mean wait %8.1f ms\n",
+					pd.Policy, pd.FinalAccuracy, pd.MeanWaitMs)
+			}
+		}))
+	res, err := exp.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(rep.Table())
+	fmt.Println()
+	fmt.Println(res.Tradeoff.Table())
 
 	fmt.Println("\nsame question at 16 peers on the virtual clock (no training, 1000 rounds):")
 	policies := []waitornot.Policy{

@@ -1,0 +1,225 @@
+package waitornot
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// Kind selects which of the paper's experiments an Experiment executes.
+type Kind int
+
+// The three experiment families of the evaluation.
+const (
+	// KindVanilla is the centralized baseline (Table I / Figure 3).
+	KindVanilla Kind = iota + 1
+	// KindDecentralized is the blockchain deployment (Tables II-IV /
+	// Figure 4).
+	KindDecentralized
+	// KindTradeoff is the headline speed-vs-precision study: the
+	// decentralized experiment once per wait policy.
+	KindTradeoff
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindVanilla:
+		return "vanilla"
+	case KindDecentralized:
+		return "decentralized"
+	case KindTradeoff:
+		return "tradeoff"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Experiment is the composable run description behind the public API:
+// Options plus functional options select what to run, how to observe
+// it, and which wait policies to sweep; Run(ctx) is the single entry
+// point. The one-shot facades (RunVanilla, RunDecentralized,
+// RunTradeoff) are thin wrappers over it.
+//
+//	exp := waitornot.New(waitornot.Options{Model: waitornot.SimpleNN},
+//	    waitornot.WithKind(waitornot.KindTradeoff),
+//	    waitornot.WithPolicies(waitornot.DefaultPolicies(3)...),
+//	    waitornot.WithObserverFunc(func(ev waitornot.Event) {
+//	        fmt.Println(waitornot.EventString(ev))
+//	    }))
+//	res, err := exp.Run(ctx)
+//
+// An Experiment is a value holder, not a handle: Run may be called
+// multiple times (each call is an independent deterministic run), but
+// the Experiment must not be mutated concurrently with Run.
+type Experiment struct {
+	kind     Kind
+	opts     Options
+	policies []Policy // nil = DefaultPolicies for KindTradeoff
+	observer Observer
+	scenario string
+	err      error // deferred construction error, reported by Run
+}
+
+// Option configures an Experiment. Options are applied in order;
+// later options override earlier ones (and WithScenario replaces
+// kind, options, and policies wholesale, so pass it first).
+type Option func(*Experiment)
+
+// New builds an Experiment from base Options (KindDecentralized
+// unless overridden) and functional options.
+func New(opts Options, os ...Option) *Experiment {
+	e := &Experiment{kind: KindDecentralized, opts: opts}
+	for _, o := range os {
+		o(e)
+	}
+	return e
+}
+
+// WithKind selects the experiment family.
+func WithKind(k Kind) Option {
+	return func(e *Experiment) { e.kind = k }
+}
+
+// WithObserver attaches an observer to the run's event stream.
+func WithObserver(o Observer) Option {
+	return func(e *Experiment) { e.observer = o }
+}
+
+// WithObserverFunc is WithObserver for a bare function.
+func WithObserverFunc(fn func(Event)) Option {
+	return WithObserver(ObserverFunc(fn))
+}
+
+// WithPolicies sets the wait-policy ladder a KindTradeoff experiment
+// sweeps (ignored by the other kinds). Calling it — even with zero
+// policies — replaces the default ladder.
+func WithPolicies(ps ...Policy) Option {
+	return func(e *Experiment) {
+		e.policies = make([]Policy, len(ps))
+		copy(e.policies, ps)
+	}
+}
+
+// WithScenario loads a registered scenario: its kind, options, and
+// policy ladder replace the experiment's. Pass it first and layer
+// overrides (WithSeed, WithParallelism, ...) after it. An unknown
+// name is reported by Run, not here, so construction stays fluent.
+func WithScenario(name string) Option {
+	return func(e *Experiment) {
+		s, ok := LookupScenario(name)
+		if !ok {
+			e.err = fmt.Errorf("waitornot: unknown scenario %q (registered: %s)",
+				name, strings.Join(ScenarioNames(), ", "))
+			return
+		}
+		e.applyScenario(s)
+	}
+}
+
+func (e *Experiment) applyScenario(s Scenario) {
+	e.scenario = s.Name
+	e.kind = s.Kind
+	e.opts = s.Options
+	e.policies = make([]Policy, len(s.Policies))
+	copy(e.policies, s.Policies)
+}
+
+// WithModel overrides the architecture.
+func WithModel(m Model) Option {
+	return func(e *Experiment) { e.opts.Model = m }
+}
+
+// WithSeed overrides the experiment seed.
+func WithSeed(seed uint64) Option {
+	return func(e *Experiment) { e.opts.Seed = seed }
+}
+
+// WithRounds overrides the communication-round count.
+func WithRounds(n int) Option {
+	return func(e *Experiment) { e.opts.Rounds = n }
+}
+
+// WithParallelism overrides the engine's worker-pool bound
+// (0 = all cores, 1 = the exact sequential schedule; results are
+// bit-identical at every setting).
+func WithParallelism(n int) Option {
+	return func(e *Experiment) { e.opts.Parallelism = n }
+}
+
+// WithFastScale shrinks the data sizes to the smoke-test scale of
+// `cmd/repro -fast`: runs finish in seconds instead of minutes, at
+// reduced statistical fidelity.
+func WithFastScale() Option {
+	return func(e *Experiment) {
+		e.opts.TrainPerClient = 200
+		e.opts.SelectionSize = 80
+		e.opts.TestPerClient = 100
+	}
+}
+
+// Results is an Experiment run's output: exactly one report field is
+// populated, matching Kind.
+type Results struct {
+	// Kind is the experiment family that ran.
+	Kind Kind
+	// Scenario names the registered scenario, if one was used.
+	Scenario string
+	// Vanilla is set for KindVanilla.
+	Vanilla *VanillaReport
+	// Decentralized is set for KindDecentralized.
+	Decentralized *DecentralizedReport
+	// Tradeoff is set for KindTradeoff.
+	Tradeoff *TradeoffReport
+}
+
+// Run executes the experiment. The context cancels cooperatively: the
+// engines check it between rounds and between worker-pool items, so a
+// cancelled run returns ctx.Err() within one round boundary, with no
+// partial report. Results are a pure function of the Experiment's
+// configuration — bit-identical with or without an observer attached,
+// at any Parallelism.
+func (e *Experiment) Run(ctx context.Context) (*Results, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if err := e.opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sink := observerSink(e.observer)
+	res := &Results{Kind: e.kind, Scenario: e.scenario}
+	switch e.kind {
+	case KindVanilla:
+		rep, err := runVanillaExperiment(ctx, e.opts, sink)
+		if err != nil {
+			return nil, err
+		}
+		res.Vanilla = rep
+	case KindDecentralized:
+		rep, err := runDecentralizedExperiment(ctx, e.opts, sink)
+		if err != nil {
+			return nil, err
+		}
+		res.Decentralized = rep
+	case KindTradeoff:
+		policies := e.policies
+		if policies == nil {
+			n := e.opts.Clients
+			if n == 0 {
+				n = 3
+			}
+			policies = DefaultPolicies(n)
+		}
+		rep, err := runTradeoffExperiment(ctx, e.opts, policies, sink)
+		if err != nil {
+			return nil, err
+		}
+		res.Tradeoff = rep
+	default:
+		return nil, fmt.Errorf("waitornot: unknown experiment kind %v", e.kind)
+	}
+	return res, nil
+}

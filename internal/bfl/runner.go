@@ -14,6 +14,7 @@ package bfl
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"waitornot/internal/contract"
 	"waitornot/internal/core"
 	"waitornot/internal/dataset"
+	"waitornot/internal/event"
 	"waitornot/internal/fl"
 	"waitornot/internal/keys"
 	"waitornot/internal/nn"
@@ -82,6 +84,14 @@ type Config struct {
 	// index-addressed slot, so results are bit-identical at any
 	// setting (see internal/par).
 	Parallelism int
+	// Events, when non-nil, receives the typed event stream (round
+	// boundaries, per-peer training, on-chain submissions, aggregation
+	// decisions) in deterministic logical order: events are emitted
+	// only from the coordinator goroutine at pool barriers, in peer
+	// index order, so the stream is identical at every Parallelism and
+	// attaching a sink never changes results. Excluded from
+	// serialization: it is an observer, not configuration.
+	Events event.Sink `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -230,7 +240,15 @@ func perSampleCostMs(id nn.ModelID) float64 {
 
 // RunDecentralized executes the full blockchain-FL experiment.
 func RunDecentralized(cfg Config) (*Result, error) {
-	res, _, err := runDecentralized(cfg)
+	return Run(context.Background(), cfg)
+}
+
+// Run is RunDecentralized with cooperative cancellation: the context
+// is checked between rounds and between pool items (per-peer training
+// and per-peer decisions), and ctx.Err() is returned — with no partial
+// result — within one round boundary of cancellation.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	res, _, err := runDecentralized(ctx, cfg)
 	return res, err
 }
 
@@ -245,18 +263,19 @@ type ResultWithChain struct {
 // RunDecentralizedWithChain runs the experiment and also returns the
 // blocks, for inspection and persistence tooling.
 func RunDecentralizedWithChain(cfg Config) (*ResultWithChain, error) {
-	res, c, err := runDecentralized(cfg)
+	res, c, err := runDecentralized(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &ResultWithChain{Result: res, CanonicalChain: c.CanonicalChain()}, nil
 }
 
-func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
+func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	sink := cfg.Events
 	root := xrand.New(cfg.Seed)
 
 	// --- Data ------------------------------------------------------------
@@ -361,11 +380,15 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 
 	trainStart := time.Now()
 	for round := 1; round <= cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		sink.Emit(event.RoundStart{Round: round})
 		// 1. Local training (each peer from its adopted weights). Peers
 		// train concurrently: each owns its model and RNG stream, and
 		// each writes only its own result slot.
 		updates := make([]*fl.Update, cfg.Peers)
-		if err := par.ForEach(workers, cfg.Peers, func(i int) error {
+		if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
 			if err := peers[i].client.Adopt(peers[i].adopted); err != nil {
 				return err
 			}
@@ -374,11 +397,16 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 		}); err != nil {
 			return nil, nil, err
 		}
+		for i, p := range peers {
+			sink.Emit(event.PeerTrained{Round: round, Peer: p.name, Samples: updates[i].NumSamples, SimMs: p.simTrainMs})
+		}
 
 		// 2. Submit signed model transactions; gossip to every mempool.
 		var subTxs []*chain.Transaction
+		blobBytes := make([]int, cfg.Peers)
 		for i, p := range peers {
 			blob := nn.EncodeWeights(updates[i].Weights)
+			blobBytes[i] = len(blob)
 			payload := contract.SubmitCallData(uint64(round), uint64(cfg.Model), uint64(updates[i].NumSamples), blob)
 			tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 10_000_000, 1)
 			if err != nil {
@@ -392,6 +420,9 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 		if err := mineAndApply(peers, leader, subTxs, virtualMs); err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d submission block: %w", round, err)
 		}
+		for i, p := range peers {
+			sink.Emit(event.ModelSubmitted{Round: round, Peer: p.name, Bytes: blobBytes[i]})
+		}
 
 		// 3. Each peer reads the round's submissions from its own chain
 		// view, reconstructs updates, applies its wait policy over the
@@ -402,7 +433,7 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 		// assembled below is identical to the sequential run's.
 		decTxs := make([]*chain.Transaction, cfg.Peers)
 		remoteArrival := arrivalTimes(cfg, peers, updates)
-		if err := par.ForEach(workers, cfg.Peers, func(i int) error {
+		if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
 			p := peers[i]
 			onChain, err := readUpdates(p.chain, round)
 			if err != nil {
@@ -463,10 +494,23 @@ func runDecentralized(cfg Config) (*Result, *chain.Chain, error) {
 		}); err != nil {
 			return nil, nil, err
 		}
+		for i, p := range peers {
+			st := res.Rounds[i][len(res.Rounds[i])-1]
+			sink.Emit(event.AggregationDecided{
+				Round:       round,
+				Peer:        p.name,
+				Included:    st.Included,
+				WaitMs:      st.WaitMs,
+				ChosenCombo: st.ChosenCombo,
+				Accuracy:    st.ChosenAccuracy,
+				Rejected:    st.Rejected,
+			})
+		}
 		virtualMs += uint64(cfg.Chain.TargetIntervalMs)
 		if err := mineAndApply(peers, leader, decTxs, virtualMs); err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d decision block: %w", round, err)
 		}
+		sink.Emit(event.RoundEnd{Round: round})
 	}
 	res.TrainWallTime = time.Since(trainStart)
 	res.Chain = chainStats(peers[0].chain)

@@ -1,0 +1,158 @@
+// Package event defines the typed event stream the experiment engines
+// emit while they run: round boundaries, per-peer training and
+// submission milestones, aggregation decisions, and per-policy
+// completions in the trade-off study.
+//
+// # Determinism contract
+//
+// Events are part of the public Experiment API's observability layer,
+// so they obey the same determinism rules as results (see
+// internal/par):
+//
+//   - Events are emitted in logical order — the order the sequential
+//     schedule would produce — regardless of the engine's Parallelism.
+//     Engines achieve this by emitting only from the coordinator
+//     goroutine at deterministic barriers (after a worker pool drains,
+//     in index order), or through an order-restoring buffer when a
+//     stage streams (the trade-off study's PolicyDone events).
+//   - Sink invocations are serialized: a sink is never called
+//     concurrently with itself.
+//   - A sink observes the run; it cannot perturb it. Attaching a sink
+//     changes no result bit. A slow sink slows the run down but cannot
+//     reorder or drop events.
+package event
+
+import "fmt"
+
+// Event is one observation from a running experiment. Concrete types
+// below; switch on them:
+//
+//	switch ev := ev.(type) {
+//	case event.RoundStart:    ...
+//	case event.PeerTrained:   ...
+//	}
+type Event interface {
+	// EventName is the event's stable wire name ("round-start", ...).
+	EventName() string
+}
+
+// Sink receives events. A nil Sink is valid and discards everything —
+// engines emit through Sink.Emit, so "no observer" costs one nil check.
+type Sink func(Event)
+
+// Emit sends ev to the sink if one is attached.
+func (s Sink) Emit(ev Event) {
+	if s != nil {
+		s(ev)
+	}
+}
+
+// RoundStart opens communication round Round. Arm distinguishes the
+// vanilla experiment's aggregation arms ("consider" / "not consider");
+// it is empty for the decentralized run.
+type RoundStart struct {
+	Round int
+	Arm   string
+}
+
+// EventName implements Event.
+func (RoundStart) EventName() string { return "round-start" }
+
+// PeerTrained reports that one participant finished local training for
+// the round. SimMs is the deterministic simulated training duration
+// used by the arrival-time model (0 in the vanilla experiment, which
+// has no arrival model).
+type PeerTrained struct {
+	Round   int
+	Peer    string
+	Arm     string
+	Samples int
+	SimMs   float64
+}
+
+// EventName implements Event.
+func (PeerTrained) EventName() string { return "peer-trained" }
+
+// ModelSubmitted reports that a peer's signed model transaction was
+// committed on-chain (decentralized experiment only). Bytes is the
+// encoded weight payload size.
+type ModelSubmitted struct {
+	Round int
+	Peer  string
+	Bytes int
+}
+
+// EventName implements Event.
+func (ModelSubmitted) EventName() string { return "model-submitted" }
+
+// AggregationDecided reports one aggregation decision. In the
+// decentralized run every peer decides for itself (Peer names it); in
+// the vanilla run the central aggregator decides once per round and
+// Peer is empty. Included counts the models admitted by the wait
+// policy, WaitMs the simulated wait before it fired, and Accuracy the
+// adopted model's test accuracy (mean across clients for vanilla).
+type AggregationDecided struct {
+	Round       int
+	Peer        string
+	Arm         string
+	Included    int
+	WaitMs      float64
+	ChosenCombo string
+	Accuracy    float64
+	Rejected    []string
+}
+
+// EventName implements Event.
+func (AggregationDecided) EventName() string { return "aggregation-decided" }
+
+// RoundEnd closes communication round Round (same Arm convention as
+// RoundStart).
+type RoundEnd struct {
+	Round int
+	Arm   string
+}
+
+// EventName implements Event.
+func (RoundEnd) EventName() string { return "round-end" }
+
+// PolicyDone reports one completed wait policy in the trade-off study,
+// with its headline outcome. Index is the policy's position in the
+// sweep; events arrive in index order even when policies run
+// concurrently.
+type PolicyDone struct {
+	Index         int
+	Policy        string
+	FinalAccuracy float64
+	MeanWaitMs    float64
+	MeanIncluded  float64
+}
+
+// EventName implements Event.
+func (PolicyDone) EventName() string { return "policy-done" }
+
+// String renders an event compactly for logs and tests.
+func String(ev Event) string {
+	switch e := ev.(type) {
+	case RoundStart:
+		return fmt.Sprintf("%s r%d%s", e.EventName(), e.Round, armSuffix(e.Arm))
+	case PeerTrained:
+		return fmt.Sprintf("%s r%d %s%s", e.EventName(), e.Round, e.Peer, armSuffix(e.Arm))
+	case ModelSubmitted:
+		return fmt.Sprintf("%s r%d %s", e.EventName(), e.Round, e.Peer)
+	case AggregationDecided:
+		return fmt.Sprintf("%s r%d %s%s n=%d", e.EventName(), e.Round, e.Peer, armSuffix(e.Arm), e.Included)
+	case RoundEnd:
+		return fmt.Sprintf("%s r%d%s", e.EventName(), e.Round, armSuffix(e.Arm))
+	case PolicyDone:
+		return fmt.Sprintf("%s %d %s", e.EventName(), e.Index, e.Policy)
+	default:
+		return ev.EventName()
+	}
+}
+
+func armSuffix(arm string) string {
+	if arm == "" {
+		return ""
+	}
+	return " [" + arm + "]"
+}

@@ -1,0 +1,44 @@
+package event
+
+import "testing"
+
+// TestEventNamesStable pins the wire names observers switch on.
+func TestEventNamesStable(t *testing.T) {
+	cases := map[string]Event{
+		"round-start":         RoundStart{},
+		"peer-trained":        PeerTrained{},
+		"model-submitted":     ModelSubmitted{},
+		"aggregation-decided": AggregationDecided{},
+		"round-end":           RoundEnd{},
+		"policy-done":         PolicyDone{},
+	}
+	for want, ev := range cases {
+		if got := ev.EventName(); got != want {
+			t.Fatalf("EventName = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestNilSinkEmit: a nil sink is a valid no-op receiver.
+func TestNilSinkEmit(t *testing.T) {
+	var s Sink
+	s.Emit(RoundStart{Round: 1}) // must not panic
+}
+
+// TestString renders the compact forms tests and CLIs rely on.
+func TestString(t *testing.T) {
+	cases := map[string]Event{
+		"round-start r2":               RoundStart{Round: 2},
+		"round-start r2 [consider]":    RoundStart{Round: 2, Arm: "consider"},
+		"peer-trained r1 A":            PeerTrained{Round: 1, Peer: "A"},
+		"model-submitted r3 B":         ModelSubmitted{Round: 3, Peer: "B"},
+		"aggregation-decided r1 C n=3": AggregationDecided{Round: 1, Peer: "C", Included: 3},
+		"round-end r4":                 RoundEnd{Round: 4},
+		"policy-done 1 first-2":        PolicyDone{Index: 1, Policy: "first-2"},
+	}
+	for want, ev := range cases {
+		if got := String(ev); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 
 	"waitornot/internal/dataset"
+	"waitornot/internal/event"
 	"waitornot/internal/nn"
 	"waitornot/internal/par"
 	"waitornot/internal/xrand"
@@ -67,6 +69,12 @@ type VanillaConfig struct {
 	// runtime.NumCPU(); 1 restores the exact sequential schedule.
 	// Results are bit-identical at every setting (see internal/par).
 	Parallelism int
+	// Events, when non-nil, receives the typed event stream (round
+	// boundaries, per-client training, aggregation decisions) in
+	// deterministic logical order. Attaching a sink never changes
+	// results. Excluded from serialization: it is an observer, not
+	// configuration.
+	Events event.Sink `json:"-"`
 }
 
 // withDefaults fills unset fields.
@@ -200,10 +208,17 @@ func (env *environment) buildClients(arm string) []*Client {
 	return clients
 }
 
-// runArm executes one aggregation arm of the Vanilla experiment.
-func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
+// runArm executes one aggregation arm of the Vanilla experiment. The
+// context is checked between rounds and between pool items; on
+// cancellation the partial arm is discarded and ctx.Err() returned.
+// Events are emitted from this (the coordinator's) goroutine only, at
+// deterministic barriers, so the stream is identical at every
+// Parallelism.
+func (env *environment) runArm(ctx context.Context, mode AggregationMode) (*ArmResult, error) {
 	cfg := env.cfg
-	clients := env.buildClients(mode.String())
+	sink := cfg.Events
+	arm := mode.String()
+	clients := env.buildClients(arm)
 	workers := par.Workers(cfg.Parallelism)
 	// The aggregator's scratch evaluators for the consider search, one
 	// per worker, reused across rounds.
@@ -225,10 +240,14 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 
 	global := env.initial
 	for round := 1; round <= cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sink.Emit(event.RoundStart{Round: round, Arm: arm})
 		// Each client trains from its own model, shard, and derived RNG
 		// stream, so the round parallelizes with bit-identical results.
 		updates := make([]*Update, cfg.Clients)
-		err := par.ForEach(workers, cfg.Clients, func(i int) error {
+		err := par.ForEachCtx(ctx, workers, cfg.Clients, func(i int) error {
 			if err := clients[i].Adopt(global); err != nil {
 				return err
 			}
@@ -237,6 +256,9 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		for i, u := range updates {
+			sink.Emit(event.PeerTrained{Round: round, Peer: names[i], Arm: arm, Samples: u.NumSamples})
 		}
 		switch mode {
 		case ModeNotConsider:
@@ -262,16 +284,27 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 			return nil, fmt.Errorf("fl: unknown aggregation mode %v", mode)
 		}
 		accs := make([]float64, cfg.Clients)
-		err = par.ForEach(workers, cfg.Clients, func(i int) error {
+		err = par.ForEachCtx(ctx, workers, cfg.Clients, func(i int) error {
 			accs[i] = clients[i].TestAccuracy(global)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		var meanAcc float64
 		for i := range clients {
 			res.Accuracy[i] = append(res.Accuracy[i], accs[i])
+			meanAcc += accs[i]
 		}
+		meanAcc /= float64(cfg.Clients)
+		sink.Emit(event.AggregationDecided{
+			Round:       round,
+			Arm:         arm,
+			Included:    cfg.Clients,
+			ChosenCombo: res.ChosenCombos[round-1],
+			Accuracy:    meanAcc,
+		})
+		sink.Emit(event.RoundEnd{Round: round, Arm: arm})
 	}
 	return res, nil
 }
@@ -279,16 +312,23 @@ func (env *environment) runArm(mode AggregationMode) (*ArmResult, error) {
 // RunVanilla executes the full Table I experiment: both aggregation arms
 // over identical data and initial weights.
 func RunVanilla(cfg VanillaConfig) (*VanillaResult, error) {
+	return Run(context.Background(), cfg)
+}
+
+// Run is RunVanilla with cooperative cancellation: the context is
+// checked between rounds and between pool items, and ctx.Err() is
+// returned (with no partial result) once it fires.
+func Run(ctx context.Context, cfg VanillaConfig) (*VanillaResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	env := setupEnvironment(cfg)
-	consider, err := env.runArm(ModeConsider)
+	consider, err := env.runArm(ctx, ModeConsider)
 	if err != nil {
 		return nil, err
 	}
-	notConsider, err := env.runArm(ModeNotConsider)
+	notConsider, err := env.runArm(ctx, ModeNotConsider)
 	if err != nil {
 		return nil, err
 	}

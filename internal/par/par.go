@@ -28,6 +28,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -73,6 +74,18 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
 }
 
+// ForEachCtx is ForEach with cooperative cancellation: workers check
+// ctx between items and stop claiming new ones once ctx is done
+// (items already running finish — fn is never interrupted mid-item).
+// If the pool drains without an item error but ctx was cancelled,
+// ctx.Err() is returned; an item error at a lower index still wins, so
+// uncancelled runs keep the full determinism contract. On
+// cancellation the caller must treat any partially filled output as
+// garbage, exactly as it would on an item error.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
 // ForEachWorker is ForEach with the worker's identity passed to fn:
 // worker is a stable id in [0, min(workers, n)). It exists so callers
 // can give each worker private scratch state (a scratch model, a
@@ -80,8 +93,14 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // fn must not let the worker id influence item i's result — only which
 // scratch arena computes it.
 func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	return ForEachWorkerCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachWorkerCtx is ForEachWorker with the cooperative-cancellation
+// semantics of ForEachCtx.
+func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -89,11 +108,14 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runSequential(i, fn); err != nil {
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
 
 	errs := make([]error, n)    // index-addressed: slot i belongs to item i
@@ -104,7 +126,7 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -123,7 +145,7 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 			return errs[i]
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // runSequential executes one item on the caller's goroutine, wrapping
@@ -157,11 +179,18 @@ func runItem(worker, i int, fn func(worker, i int) error, errs []error, panics [
 // mirroring ForEach's no-op. On error the slice is nil and the error
 // is the lowest failing index's (see ForEach).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with the cooperative-cancellation semantics of
+// ForEachCtx: on cancellation the slice is nil and the error is
+// ctx.Err() (unless a lower-indexed item failed first).
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -178,5 +179,92 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if Workers(1) != 1 || Workers(7) != 7 {
 		t.Fatal("explicit worker counts must pass through")
+	}
+}
+
+func TestForEachCtxSequentialCancelBetweenItems(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran []int
+	err := ForEachCtx(ctx, 1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			cancel() // items 4..9 must never start
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !reflect.DeepEqual(ran, []int{0, 1, 2, 3}) {
+		t.Fatalf("ran %v past the cancellation", ran)
+	}
+}
+
+func TestForEachCtxParallelStopsClaiming(t *testing.T) {
+	// Deterministic schedule: both workers claim an item and block on
+	// the barrier; the context is cancelled before the barrier opens,
+	// so cancellation happens-before every subsequent claim check and
+	// exactly the two in-flight items run.
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int32
+	go func() {
+		for started.Load() < 2 {
+			runtime.Gosched() // wait until both workers are in flight
+		}
+		cancel()
+		close(release)
+	}()
+	err := ForEachCtx(ctx, 2, 1000, func(i int) error {
+		started.Add(1)
+		<-release
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 2 {
+		t.Fatalf("pool ran %d items after cancellation, want exactly the 2 in flight", n)
+	}
+}
+
+func TestForEachCtxItemErrorBeatsCancellation(t *testing.T) {
+	// A real failure at a low index wins over ctx.Err(), keeping the
+	// sequential error contract for runs that fail before the cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachCtx(ctx, 4, 50, func(i int) error {
+		if i == 2 {
+			defer cancel()
+			return errors.New("item 2 failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 2 failed" {
+		t.Fatalf("err = %v, want item 2's error", err)
+	}
+}
+
+func TestForEachCtxUncancelledMatchesForEach(t *testing.T) {
+	n := 57
+	counts := make([]int32, n)
+	if err := ForEachCtx(context.Background(), 8, n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 10, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("out=%v err=%v, want nil + context.Canceled", out, err)
 	}
 }

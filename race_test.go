@@ -7,6 +7,7 @@
 package waitornot_test
 
 import (
+	"context"
 	"testing"
 
 	"waitornot"
@@ -71,6 +72,38 @@ func TestRaceSmokeVanilla(t *testing.T) {
 	}
 	if _, err := waitornot.RunVanilla(opts); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRaceSmokeObserver pushes the event layer through the concurrent
+// paths: round events from the parallel decentralized run and the
+// order-restoring PolicyDone emitter of the concurrent trade-off
+// sweep, with an observer attached and a live context.
+func TestRaceSmokeObserver(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         3,
+		Rounds:          1,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		Parallelism:     8,
+	}
+	var events int
+	obs := waitornot.ObserverFunc(func(waitornot.Event) { events++ })
+	if _, err := waitornot.New(opts, waitornot.WithObserver(obs)).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	opts.StragglerFactor = []float64{1, 1, 3}
+	if _, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithObserver(obs)).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("observer saw no events")
 	}
 }
 

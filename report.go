@@ -1,10 +1,12 @@
 package waitornot
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"waitornot/internal/bfl"
+	"waitornot/internal/event"
 	"waitornot/internal/fl"
 	"waitornot/internal/metrics"
 )
@@ -22,12 +24,23 @@ type VanillaReport struct {
 	ConsiderCombos []string
 }
 
-// RunVanilla executes the centralized (Vanilla FL) experiment.
+// RunVanilla executes the centralized (Vanilla FL) experiment. It is
+// a thin wrapper over the Experiment API; use New(...).Run(ctx) for
+// cancellation and the streaming event layer.
 func RunVanilla(opts Options) (*VanillaReport, error) {
-	if err := opts.Validate(); err != nil {
+	res, err := New(opts, WithKind(KindVanilla)).Run(context.Background())
+	if err != nil {
 		return nil, err
 	}
-	res, err := fl.RunVanilla(opts.vanilla())
+	return res.Vanilla, nil
+}
+
+// runVanillaExperiment is the engine-facing vanilla runner behind
+// Experiment.Run.
+func runVanillaExperiment(ctx context.Context, opts Options, sink event.Sink) (*VanillaReport, error) {
+	cfg := opts.vanilla()
+	cfg.Events = sink
+	res, err := fl.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -126,12 +139,23 @@ type DecentralizedReport struct {
 	Chain ChainSummary
 }
 
-// RunDecentralized executes the blockchain-based FL experiment.
+// RunDecentralized executes the blockchain-based FL experiment. It is
+// a thin wrapper over the Experiment API; use New(...).Run(ctx) for
+// cancellation and the streaming event layer.
 func RunDecentralized(opts Options) (*DecentralizedReport, error) {
-	if err := opts.Validate(); err != nil {
+	res, err := New(opts, WithKind(KindDecentralized)).Run(context.Background())
+	if err != nil {
 		return nil, err
 	}
-	res, err := bfl.RunDecentralized(opts.decentralized())
+	return res.Decentralized, nil
+}
+
+// runDecentralizedExperiment is the engine-facing decentralized
+// runner behind Experiment.Run.
+func runDecentralizedExperiment(ctx context.Context, opts Options, sink event.Sink) (*DecentralizedReport, error) {
+	cfg := opts.decentralized()
+	cfg.Events = sink
+	res, err := bfl.Run(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -211,11 +235,4 @@ func (r *DecentralizedReport) Figure4(model string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

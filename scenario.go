@@ -1,0 +1,166 @@
+package waitornot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Scenario is a named, registered experiment configuration: a Kind,
+// its Options, and (for KindTradeoff) the wait-policy ladder to sweep.
+// The registry turns the evaluation grids of the paper and of related
+// systems (sync vs async ladders, stragglers, poisoning, non-IID
+// splits) into one-liners:
+//
+//	sc, _ := waitornot.LookupScenario("async-ladder")
+//	res, err := sc.Experiment(waitornot.WithParallelism(4)).Run(ctx)
+//
+// or, from the CLI, `go run ./cmd/repro -scenario async-ladder`.
+type Scenario struct {
+	// Name is the registry key (unique, non-empty).
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Kind selects the experiment family.
+	Kind Kind
+	// Options is the base configuration.
+	Options Options
+	// Policies is the wait-policy ladder (KindTradeoff only; nil
+	// means DefaultPolicies for the client count).
+	Policies []Policy
+}
+
+// Experiment builds an Experiment from the scenario plus overrides
+// (applied after the scenario, so they win).
+func (s Scenario) Experiment(overrides ...Option) *Experiment {
+	e := New(s.Options)
+	e.applyScenario(s)
+	for _, o := range overrides {
+		o(e)
+	}
+	return e
+}
+
+var (
+	scenarioMu sync.RWMutex
+	scenarios  = map[string]Scenario{}
+)
+
+// RegisterScenario adds a scenario to the registry. It rejects empty
+// or duplicate names and configurations that fail validation, so
+// every registered scenario is runnable.
+func RegisterScenario(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("waitornot: scenario needs a name")
+	}
+	switch s.Kind {
+	case KindVanilla, KindDecentralized, KindTradeoff:
+	default:
+		return fmt.Errorf("waitornot: scenario %q: unknown kind %v", s.Name, s.Kind)
+	}
+	if err := s.Options.Validate(); err != nil {
+		return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
+	}
+	for _, p := range s.Policies {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
+		}
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarios[s.Name]; dup {
+		return fmt.Errorf("waitornot: scenario %q already registered", s.Name)
+	}
+	scenarios[s.Name] = s
+	return nil
+}
+
+// MustRegisterScenario is RegisterScenario, panicking on error — for
+// package init blocks.
+func MustRegisterScenario(s Scenario) {
+	if err := RegisterScenario(s); err != nil {
+		panic(err)
+	}
+}
+
+// LookupScenario returns the named scenario.
+func LookupScenario(name string) (Scenario, bool) {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// ScenarioNames lists registered scenario names, sorted.
+func ScenarioNames() []string {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scenarios lists registered scenarios, sorted by name.
+func Scenarios() []Scenario {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	out := make([]Scenario, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// The built-in scenario library. Zero-valued Options fields take the
+// paper-calibrated defaults (3 clients, 10 rounds, SimpleNN,
+// 3000/300/800 data sizes), so `paper-repro` IS the paper's setup and
+// the others are one-knob departures from it.
+func init() {
+	MustRegisterScenario(Scenario{
+		Name:        "paper-repro",
+		Description: "the paper's blockchain deployment: 3 peers, wait-all, Tables II-IV / Figure 4",
+		Kind:        KindDecentralized,
+	})
+	MustRegisterScenario(Scenario{
+		Name:        "vanilla-baseline",
+		Description: "the centralized baseline: consider vs not-consider aggregation, Table I / Figure 3",
+		Kind:        KindVanilla,
+	})
+	MustRegisterScenario(Scenario{
+		Name:        "non-iid",
+		Description: "blockchain deployment over a Dirichlet(0.5) non-IID partition",
+		Kind:        KindDecentralized,
+		Options:     Options{DirichletAlpha: 0.5},
+	})
+	MustRegisterScenario(Scenario{
+		Name:        "poisoning",
+		Description: "one fully label-flipped peer vs the abnormal-model filter",
+		Kind:        KindDecentralized,
+		Options: Options{
+			PoisonClient:       2,
+			PoisonFraction:     1,
+			FilterMaxBelowBest: 0.15,
+		},
+	})
+	MustRegisterScenario(Scenario{
+		Name:        "stragglers",
+		Description: "speed-vs-precision sweep with a 3x straggler (the paper's headline table)",
+		Kind:        KindTradeoff,
+		Options:     Options{StragglerFactor: []float64{1, 1, 3}},
+		Policies:    DefaultPolicies(3),
+	})
+	MustRegisterScenario(Scenario{
+		Name:        "async-ladder",
+		Description: "full wait-policy ladder under a 3x straggler: wait-all, first-k, timeout, k-or-timeout",
+		Kind:        KindTradeoff,
+		Options:     Options{StragglerFactor: []float64{1, 1, 3}},
+		Policies: append(DefaultPolicies(3),
+			Policy{Kind: Timeout, TimeoutMs: 60},
+			Policy{Kind: KOrTimeout, K: 2, TimeoutMs: 60},
+		),
+	})
+}

@@ -1,9 +1,12 @@
 package waitornot
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"waitornot/internal/core"
+	"waitornot/internal/event"
 	"waitornot/internal/metrics"
 	"waitornot/internal/par"
 	"waitornot/internal/simnet"
@@ -39,6 +42,25 @@ type TradeoffReport struct {
 // roughly Parallelism/P workers for its own training pool, keeping
 // total concurrency near the knob rather than multiplying by it.
 func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
+	res, err := New(opts, WithKind(KindTradeoff), WithPolicies(policies...)).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Tradeoff, nil
+}
+
+// runTradeoffExperiment is the engine-facing trade-off runner behind
+// Experiment.Run. Per-policy runs execute concurrently with their
+// round-level events suppressed (they would interleave
+// nondeterministically); instead one PolicyDone per policy streams
+// out, restored to sweep order by an orderedEmitter, so observers see
+// a deterministic stream without losing streaming entirely.
+func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy, sink event.Sink) (*TradeoffReport, error) {
+	for _, p := range policies {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	opts = opts.withDefaults()
 	opts.SkipComboTables = true
 	workers := par.Workers(opts.Parallelism)
@@ -47,11 +69,12 @@ func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
 	} else {
 		opts.Parallelism = 1
 	}
-	outcomes, err := par.Map(workers, len(policies), func(i int) (PolicyOutcome, error) {
+	emit := newOrderedEmitter(sink)
+	outcomes, err := par.MapCtx(ctx, workers, len(policies), func(i int) (PolicyOutcome, error) {
 		p := policies[i]
 		o := opts
 		o.Policy = p
-		rep, err := RunDecentralized(o)
+		rep, err := runDecentralizedExperiment(ctx, o, nil)
 		if err != nil {
 			return PolicyOutcome{}, fmt.Errorf("policy %s: %w", p.Name(), err)
 		}
@@ -66,17 +89,59 @@ func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
 				waitN++
 			}
 		}
-		return PolicyOutcome{
+		out := PolicyOutcome{
 			Policy:        p.Name(),
 			FinalAccuracy: acc / float64(len(rep.Rounds)),
 			MeanWaitMs:    wait / float64(waitN),
 			MeanIncluded:  included / float64(waitN),
-		}, nil
+		}
+		emit.emit(i, event.PolicyDone{
+			Index:         i,
+			Policy:        out.Policy,
+			FinalAccuracy: out.FinalAccuracy,
+			MeanWaitMs:    out.MeanWaitMs,
+			MeanIncluded:  out.MeanIncluded,
+		})
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &TradeoffReport{Model: opts.Model, Outcomes: outcomes}, nil
+}
+
+// orderedEmitter restores sweep order to events produced by
+// concurrent workers: event i is forwarded only once events 0..i-1
+// have been, with out-of-order arrivals buffered. Forwarding happens
+// under the lock, which also serializes the sink per the Observer
+// contract.
+type orderedEmitter struct {
+	sink event.Sink
+	mu   sync.Mutex
+	next int
+	buf  map[int]event.Event
+}
+
+func newOrderedEmitter(sink event.Sink) *orderedEmitter {
+	return &orderedEmitter{sink: sink, buf: map[int]event.Event{}}
+}
+
+func (oe *orderedEmitter) emit(i int, ev event.Event) {
+	if oe.sink == nil {
+		return
+	}
+	oe.mu.Lock()
+	defer oe.mu.Unlock()
+	oe.buf[i] = ev
+	for {
+		pending, ok := oe.buf[oe.next]
+		if !ok {
+			return
+		}
+		oe.sink(pending)
+		delete(oe.buf, oe.next)
+		oe.next++
+	}
 }
 
 // Table renders the trade-off frontier.

@@ -92,6 +92,34 @@ type Policy struct {
 // Name renders the policy for reports.
 func (p Policy) Name() string { return p.internal().Name() }
 
+// Validate rejects policies the engine cannot honour: FirstK and
+// KOrTimeout need K >= 1, Timeout and KOrTimeout need a positive
+// deadline. The zero Policy is valid (it means WaitAll).
+func (p Policy) Validate() error {
+	switch p.Kind {
+	case 0, WaitAll:
+		return nil
+	case FirstK:
+		if p.K < 1 {
+			return fmt.Errorf("waitornot: first-k policy needs K >= 1, got %d", p.K)
+		}
+	case Timeout:
+		if p.TimeoutMs <= 0 {
+			return fmt.Errorf("waitornot: timeout policy needs TimeoutMs > 0, got %g", p.TimeoutMs)
+		}
+	case KOrTimeout:
+		if p.K < 1 {
+			return fmt.Errorf("waitornot: k-or-timeout policy needs K >= 1, got %d", p.K)
+		}
+		if p.TimeoutMs <= 0 {
+			return fmt.Errorf("waitornot: k-or-timeout policy needs TimeoutMs > 0, got %g", p.TimeoutMs)
+		}
+	default:
+		return fmt.Errorf("waitornot: unknown policy kind %d", int(p.Kind))
+	}
+	return nil
+}
+
 func (p Policy) internal() core.WaitPolicy {
 	switch p.Kind {
 	case FirstK:
@@ -162,9 +190,23 @@ type Options struct {
 	PoisonFraction float64
 }
 
-// Validate rejects options the engine cannot honour. Both Run
-// functions call it; exported for callers that want to fail fast.
+// Validate rejects options the engine cannot honour: unknown models,
+// negative counts, poison fractions outside [0,1], and wait policies
+// with impossible parameters. Experiment.Run (and so every facade
+// entry point) calls it; exported for callers that want to fail fast.
 func (o Options) Validate() error {
+	if o.Clients < 0 {
+		return fmt.Errorf("waitornot: negative client count %d", o.Clients)
+	}
+	if o.Rounds < 0 {
+		return fmt.Errorf("waitornot: negative round count %d", o.Rounds)
+	}
+	if o.PoisonFraction < 0 || o.PoisonFraction > 1 {
+		return fmt.Errorf("waitornot: poison fraction %g outside [0, 1]", o.PoisonFraction)
+	}
+	if err := o.Policy.Validate(); err != nil {
+		return err
+	}
 	o = o.withDefaults()
 	if o.Model != SimpleNN && o.Model != EffNetB0Sim {
 		return fmt.Errorf("waitornot: unknown model %v", o.Model)
