@@ -32,12 +32,13 @@ test-race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
-# Perf snapshot: run the sequential-vs-parallel speedup suite once and
-# record name / ns-op / speedup-x as JSON (two steps so a bench
-# failure fails the target instead of vanishing into a pipe; the
-# intermediate is removed on success and failure alike).
+# Perf snapshot: run the sequential-vs-parallel speedup suite and the
+# consensus-backend ladder once and record name / ns-op / speedup-x as
+# JSON (two steps so a bench failure fails the target instead of
+# vanishing into a pipe; the intermediate is removed on success and
+# failure alike).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 1x . > .bench.out
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel|BenchmarkBackend' -benchtime 1x . > .bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < .bench.out; \
 	    status=$$?; rm -f .bench.out; exit $$status
 

@@ -1,6 +1,6 @@
 // Benchmark harness: one benchmark per table and figure of the paper,
 // plus the §II-A2 performance premises and the ablations called out in
-// DESIGN.md §4.
+// DESIGN.md §5.
 //
 // The benchmarks run scaled-down versions of each experiment (so the
 // suite finishes in minutes on one core) and report the headline
@@ -16,6 +16,7 @@ import (
 	"waitornot/internal/chain"
 	"waitornot/internal/fl"
 	"waitornot/internal/keys"
+	"waitornot/internal/ledger"
 	"waitornot/internal/nn"
 	"waitornot/internal/tensor"
 	"waitornot/internal/xrand"
@@ -248,7 +249,7 @@ func BenchmarkDualTaskInterference(b *testing.B) {
 }
 
 // BenchmarkAblationSelectionSetSize ablates the "consider" scorer's
-// selection-set size (DESIGN.md §4): bigger sets pick better combos but
+// selection-set size (DESIGN.md §5): bigger sets pick better combos but
 // cost linearly more evaluation time.
 func BenchmarkAblationSelectionSetSize(b *testing.B) {
 	for _, size := range []int{40, 120, 300} {
@@ -343,6 +344,124 @@ func BenchmarkModelSubmissionTx(b *testing.B) {
 		if err := tx.VerifySignature(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchBackendSetup builds a backend over 8 peers plus a signer that
+// mints one 1 KB payload transaction per peer per round (signing
+// happens outside the timer, so the measurement isolates the
+// consensus cost: gossip validation, block assembly, mining, and
+// per-peer execution).
+func benchBackendSetup(b *testing.B, name string) (ledger.Backend, func(round int) []*chain.Transaction) {
+	b.Helper()
+	const peers = 8
+	ccfg := chain.DefaultConfig()
+	ccfg.GenesisDifficulty = 64
+	ccfg.MinDifficulty = 16
+	ks := make([]*keys.Key, peers)
+	alloc := make(map[keys.Address]uint64, peers)
+	sealers := make([]keys.Address, peers)
+	for i := range ks {
+		ks[i] = keys.GenerateDeterministic(uint64(9000 + i))
+		alloc[ks[i].Address()] = 1 << 62
+		sealers[i] = ks[i].Address()
+	}
+	be, err := ledger.New(name, ledger.Config{
+		Peers: peers, Chain: ccfg, Alloc: alloc, Sealers: sealers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	rng := xrand.New(77)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+	}
+	to := keys.GenerateDeterministic(9999).Address()
+	mint := func(round int) []*chain.Transaction {
+		txs := make([]*chain.Transaction, peers)
+		for i, k := range ks {
+			tx, err := chain.NewTx(k, uint64(round), to, 1, payload, ccfg.Gas, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs[i] = tx
+		}
+		return txs
+	}
+	return be, mint
+}
+
+// benchBackendRounds measures one backend's per-round ledger cost:
+// 8 peers each submit a signed 1 KB transaction, the round leader
+// commits, every peer's view advances.
+func benchBackendRounds(b *testing.B, name string) {
+	be, mint := benchBackendSetup(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		txs := mint(i)
+		b.StartTimer()
+		for _, tx := range txs {
+			if err := be.Submit(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c, err := be.Commit(i%8, uint64(i+1)*1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Txs != 8 {
+			b.Fatalf("committed %d of 8 txs", c.Txs)
+		}
+	}
+	fp := be.Footprint()
+	b.ReportMetric(float64(fp.GasUsed)/float64(b.N), "gas/round")
+	b.ReportMetric(float64(fp.Bytes)/float64(b.N), "ledger-bytes/round")
+}
+
+// BenchmarkBackendPoW measures the default substrate's per-round cost:
+// mempool gossip to 8 peers, proof-of-work assembly, and 8 chain
+// applications per block.
+func BenchmarkBackendPoW(b *testing.B) { benchBackendRounds(b, "pow") }
+
+// BenchmarkBackendPoA measures authority sealing: the same gossip and
+// per-peer execution, but no mining and no header replay.
+func BenchmarkBackendPoA(b *testing.B) { benchBackendRounds(b, "poa") }
+
+// BenchmarkBackendInstant measures the consensus-free limit: one
+// shared state machine, no blocks.
+func BenchmarkBackendInstant(b *testing.B) { benchBackendRounds(b, "instant") }
+
+// BenchmarkBackendInstantVsPoW times the same round on both ends of
+// the consensus ladder and reports the ratio — the per-round price of
+// proof-of-work consensus that the instant backend refunds.
+func BenchmarkBackendInstantVsPoW(b *testing.B) {
+	pow, mintPow := benchBackendSetup(b, "pow")
+	inst, mintInst := benchBackendSetup(b, "instant")
+	var powTotal, instTotal time.Duration
+	runRound := func(be ledger.Backend, txs []*chain.Transaction, round int) time.Duration {
+		start := time.Now()
+		for _, tx := range txs {
+			if err := be.Submit(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := be.Commit(round%8, uint64(round+1)*1000); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		txsPow, txsInst := mintPow(i), mintInst(i)
+		b.StartTimer()
+		powTotal += runRound(pow, txsPow, i)
+		instTotal += runRound(inst, txsInst, i)
+	}
+	if instTotal > 0 {
+		b.ReportMetric(float64(powTotal)/float64(instTotal), "speedup-x")
 	}
 }
 

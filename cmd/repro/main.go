@@ -35,16 +35,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|tables234|tradeoff|netperf|all")
-		scenario = flag.String("scenario", "", "run a registered scenario by name (see -scenarios)")
-		list     = flag.Bool("scenarios", false, "list registered scenarios and exit")
-		model    = flag.String("model", "both", "model: simple|effnet|both")
-		rounds   = flag.Int("rounds", 10, "communication rounds")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		fast     = flag.Bool("fast", false, "reduced scale for smoke testing")
-		csv      = flag.Bool("csv", false, "also print CSV grids")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential); results are bit-identical at any setting")
-		noStream = flag.Bool("quiet", false, "suppress the streamed progress events in -scenario mode")
+		exp         = flag.String("exp", "all", "experiment: table1|tables234|tradeoff|netperf|all")
+		scenario    = flag.String("scenario", "", "run a registered scenario by name (see -scenarios)")
+		list        = flag.Bool("scenarios", false, "list registered scenarios and exit")
+		backend     = flag.String("backend", "", "consensus backend for the decentralized rounds (see -backends; default pow)")
+		listBackend = flag.Bool("backends", false, "list registered consensus backends and exit")
+		model       = flag.String("model", "both", "model: simple|effnet|both")
+		rounds      = flag.Int("rounds", 10, "communication rounds")
+		seed        = flag.Uint64("seed", 1, "experiment seed")
+		fast        = flag.Bool("fast", false, "reduced scale for smoke testing")
+		csv         = flag.Bool("csv", false, "also print CSV grids")
+		parallel    = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential); results are bit-identical at any setting")
+		noStream    = flag.Bool("quiet", false, "suppress the streamed progress events in -scenario mode")
 	)
 	flag.Parse()
 
@@ -58,8 +60,15 @@ func main() {
 		}
 		return
 	}
+	if *listBackend {
+		fmt.Println("registered consensus backends:")
+		for _, b := range waitornot.Backends() {
+			fmt.Printf("  %-10s %s\n", b.Name, b.Description)
+		}
+		return
+	}
 	if *scenario != "" {
-		runScenario(ctx, *scenario, *model, *seed, *rounds, *parallel, *fast, !*noStream)
+		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream)
 		return
 	}
 
@@ -78,6 +87,7 @@ func main() {
 		Rounds:      *rounds,
 		Seed:        *seed,
 		Parallelism: *parallel,
+		Backend:     *backend,
 	}
 	if *fast {
 		opts.TrainPerClient = 200
@@ -186,7 +196,7 @@ func main() {
 // runScenario executes one registered scenario through the Experiment
 // API — streaming its typed progress events — and prints the report
 // matching the scenario's kind.
-func runScenario(ctx context.Context, name, model string, seed uint64, rounds, parallel int, fast, stream bool) {
+func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream bool) {
 	sc, ok := waitornot.LookupScenario(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -scenario %q; registered:\n", name)
@@ -211,6 +221,11 @@ func runScenario(ctx context.Context, name, model string, seed uint64, rounds, p
 			overrides = append(overrides, waitornot.WithRounds(rounds))
 		case "parallel":
 			overrides = append(overrides, waitornot.WithParallelism(parallel))
+		case "backend":
+			// An explicit -backend wins over a scenario's backend
+			// ladder too: clear the ladder so the sweep runs on the
+			// requested substrate alone.
+			overrides = append(overrides, waitornot.WithBackend(backend), waitornot.WithBackends())
 		case "model":
 			switch model {
 			case "simple":
@@ -288,6 +303,9 @@ func printEvent(ev waitornot.Event) {
 		fmt.Printf("   trained    %s (%d samples)\n", e.Peer, e.Samples)
 	case waitornot.ModelSubmitted:
 		fmt.Printf("   submitted  %s (%.1f KB on-chain)\n", e.Peer, float64(e.Bytes)/1024)
+	case waitornot.BlockCommitted:
+		fmt.Printf("   committed  block %d via %s (%d txs, %.2f MGas, ~%.0f ms commit latency)\n",
+			e.Height, e.Backend, e.Txs, float64(e.GasUsed)/1e6, e.LatencyMs)
 	case waitornot.AggregationDecided:
 		who := e.Peer
 		if who == "" {

@@ -10,11 +10,14 @@ import "waitornot/internal/event"
 // observer never changes a result bit (determinism is enforced by the
 // golden tests in events_test.go).
 //
-// Event order per decentralized round:
+// Event order per decentralized round (one BlockCommitted precedes
+// round 1: the identity-registration block, Round 0):
 //
 //	RoundStart → PeerTrained (per peer, in peer order)
-//	           → ModelSubmitted (per peer, after the submission block)
+//	           → BlockCommitted (the round's submission block)
+//	           → ModelSubmitted (per peer)
 //	           → AggregationDecided (per peer)
+//	           → BlockCommitted (the round's decision block)
 //	           → RoundEnd
 //
 // The vanilla experiment emits the same skeleton once per aggregation
@@ -31,6 +34,9 @@ type (
 	PeerTrained = event.PeerTrained
 	// ModelSubmitted reports a model transaction committed on-chain.
 	ModelSubmitted = event.ModelSubmitted
+	// BlockCommitted reports one ledger commit, with the backend's
+	// modeled commit latency.
+	BlockCommitted = event.BlockCommitted
 	// AggregationDecided reports one aggregation decision.
 	AggregationDecided = event.AggregationDecided
 	// RoundEnd closes a communication round.

@@ -43,19 +43,25 @@ func (c *collector) OnEvent(ev waitornot.Event) {
 }
 
 // decentralizedWant is the exact logical event order of one tiny run:
-// per round, a round-start, every peer trained (peer order), every
-// model committed on-chain, every peer's aggregation decision
-// (wait-all admits all 3 models), and a round-end.
+// the registration block (round 0), then per round a round-start,
+// every peer trained (peer order), the submission block committed,
+// every model submitted, every peer's aggregation decision (wait-all
+// admits all 3 models), the decision block committed, and a round-end.
 var decentralizedWant = []string{
+	"block-committed r0 pow h1 n=3",
 	"round-start r1",
 	"peer-trained r1 A", "peer-trained r1 B", "peer-trained r1 C",
+	"block-committed r1 pow h2 n=3",
 	"model-submitted r1 A", "model-submitted r1 B", "model-submitted r1 C",
 	"aggregation-decided r1 A n=3", "aggregation-decided r1 B n=3", "aggregation-decided r1 C n=3",
+	"block-committed r1 pow h3 n=3",
 	"round-end r1",
 	"round-start r2",
 	"peer-trained r2 A", "peer-trained r2 B", "peer-trained r2 C",
+	"block-committed r2 pow h4 n=3",
 	"model-submitted r2 A", "model-submitted r2 B", "model-submitted r2 C",
 	"aggregation-decided r2 A n=3", "aggregation-decided r2 B n=3", "aggregation-decided r2 C n=3",
+	"block-committed r2 pow h5 n=3",
 	"round-end r2",
 }
 

@@ -56,6 +56,7 @@ type Experiment struct {
 	kind     Kind
 	opts     Options
 	policies []Policy // nil = DefaultPolicies for KindTradeoff
+	backends []string // nil = the single Options.Backend (KindTradeoff)
 	observer Observer
 	scenario string
 	err      error // deferred construction error, reported by Run
@@ -101,6 +102,25 @@ func WithPolicies(ps ...Policy) Option {
 	}
 }
 
+// WithBackend selects the consensus substrate the decentralized
+// rounds commit through ("pow", "poa", "instant", or any name added
+// with RegisterBackend). Unknown names are reported by Run.
+func WithBackend(name string) Option {
+	return func(e *Experiment) { e.opts.Backend = name }
+}
+
+// WithBackends sets the consensus-backend ladder a KindTradeoff
+// experiment sweeps: the policy ladder runs once per backend, and
+// each outcome is labeled with its backend. Ignored by the other
+// kinds. Calling it with zero backends restores the single
+// Options.Backend sweep.
+func WithBackends(names ...string) Option {
+	return func(e *Experiment) {
+		e.backends = make([]string, len(names))
+		copy(e.backends, names)
+	}
+}
+
 // WithScenario loads a registered scenario: its kind, options, and
 // policy ladder replace the experiment's. Pass it first and layer
 // overrides (WithSeed, WithParallelism, ...) after it. An unknown
@@ -123,6 +143,11 @@ func (e *Experiment) applyScenario(s Scenario) {
 	e.opts = s.Options
 	e.policies = make([]Policy, len(s.Policies))
 	copy(e.policies, s.Policies)
+	e.backends = nil
+	if len(s.Backends) > 0 {
+		e.backends = make([]string, len(s.Backends))
+		copy(e.backends, s.Backends)
+	}
 }
 
 // WithModel overrides the architecture.
@@ -213,7 +238,7 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 			}
 			policies = DefaultPolicies(n)
 		}
-		rep, err := runTradeoffExperiment(ctx, e.opts, policies, sink)
+		rep, err := runTradeoffExperiment(ctx, e.opts, policies, e.backends, sink)
 		if err != nil {
 			return nil, err
 		}

@@ -27,8 +27,10 @@ import (
 	"waitornot/internal/event"
 	"waitornot/internal/fl"
 	"waitornot/internal/keys"
+	"waitornot/internal/ledger"
 	"waitornot/internal/nn"
 	"waitornot/internal/par"
+	"waitornot/internal/simnet"
 	"waitornot/internal/xrand"
 )
 
@@ -60,6 +62,16 @@ type Config struct {
 	// Chain overrides consensus parameters (zero = low-difficulty
 	// defaults suitable for in-process mining).
 	Chain chain.Config
+	// Backend names the consensus substrate rounds commit through
+	// ("" = ledger.Default, the proof-of-work path; see
+	// internal/ledger for the registry).
+	Backend string
+	// CommitLatency, when set, makes the arrival-time model quantize
+	// remote-update visibility to the backend's commit interval
+	// (simnet.CommitVisibilityMs) — wait policies then face realistic
+	// block-interval delays. Off by default, preserving the historical
+	// arrival model.
+	CommitLatency bool
 	// EvalAllCombos evaluates every paper combination on the test set
 	// each round (the data of Tables II-IV). Disable for speed when only
 	// the chosen-model trajectory matters.
@@ -160,6 +172,11 @@ func (c Config) Validate() error {
 	if c.PoisonPeer >= c.Peers {
 		return fmt.Errorf("bfl: poison peer %d out of range", c.PoisonPeer)
 	}
+	if c.Backend != "" {
+		if _, ok := ledger.Lookup(c.Backend); !ok {
+			return fmt.Errorf("bfl: unknown backend %q (registered: %v)", c.Backend, ledger.Names())
+		}
+	}
 	return c.Data.Validate()
 }
 
@@ -211,8 +228,6 @@ type Result struct {
 type peerState struct {
 	name   string
 	key    *keys.Key
-	chain  *chain.Chain
-	pool   *chain.Mempool
 	client *fl.Client
 	agg    *core.Aggregator
 	nonce  uint64
@@ -261,16 +276,22 @@ type ResultWithChain struct {
 }
 
 // RunDecentralizedWithChain runs the experiment and also returns the
-// blocks, for inspection and persistence tooling.
+// blocks, for inspection and persistence tooling. It requires a
+// chain-backed backend (the pow default); block-free backends return
+// an error.
 func RunDecentralizedWithChain(cfg Config) (*ResultWithChain, error) {
-	res, c, err := runDecentralized(context.Background(), cfg)
+	res, be, err := runDecentralized(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &ResultWithChain{Result: res, CanonicalChain: c.CanonicalChain()}, nil
+	ch, ok := be.(ledger.Chainer)
+	if !ok {
+		return nil, fmt.Errorf("bfl: backend %q keeps no block chain", be.Name())
+	}
+	return &ResultWithChain{Result: res, CanonicalChain: ch.Chain(0).CanonicalChain()}, nil
 }
 
-func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, error) {
+func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -297,13 +318,25 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 	}
 	initial := initModel.WeightVector()
 
-	// --- Chain + peers ----------------------------------------------------
+	// --- Ledger + peers ---------------------------------------------------
 	vm := contract.NewVM(cfg.Chain.Gas)
 	peerKeys := make([]*keys.Key, cfg.Peers)
 	alloc := make(map[keys.Address]uint64, cfg.Peers)
+	sealers := make([]keys.Address, cfg.Peers)
 	for i := range peerKeys {
 		peerKeys[i] = keys.GenerateDeterministic(cfg.Seed*1009 + uint64(i))
 		alloc[peerKeys[i].Address()] = 1 << 62
+		sealers[i] = peerKeys[i].Address()
+	}
+	be, err := ledger.New(cfg.Backend, ledger.Config{
+		Peers:   cfg.Peers,
+		Chain:   cfg.Chain,
+		Alloc:   alloc,
+		Proc:    vm,
+		Sealers: sealers,
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	workers := par.Workers(cfg.Parallelism)
 	// Worker-evaluator pools for the per-peer combination searches are
@@ -326,8 +359,6 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 		p := &peerState{
 			name:       name,
 			key:        peerKeys[i],
-			chain:      chain.New(cfg.Chain, alloc, vm),
-			pool:       chain.NewMempool(cfg.Chain.Gas),
 			client:     client,
 			adopted:    initial,
 			simTrainMs: float64(shards[i].Len()*cfg.Hyper.LocalEpochs) * perSampleCostMs(cfg.Model) * straggler,
@@ -345,8 +376,18 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 	}
 
 	// --- Round 0: register identities -------------------------------------
-	virtualMs := uint64(cfg.Chain.TargetIntervalMs)
-	var regTxs []*chain.Transaction
+	// The round clock advances at the backend's commit cadence, so
+	// block timestamps march at the interval the difficulty retarget
+	// rule targets — a backend variant with a slower interval stays at
+	// its difficulty equilibrium instead of climbing every block. For
+	// the default pow substrate the cadence IS the chain's target
+	// interval, preserving the historical schedule bit-for-bit;
+	// zero-latency backends (instant) keep the legacy clock.
+	clockStep := uint64(be.CommitLatencyMs())
+	if clockStep == 0 {
+		clockStep = cfg.Chain.TargetIntervalMs
+	}
+	virtualMs := clockStep
 	for _, p := range peers {
 		tx, err := chain.NewTx(p.key, p.nonce, contract.RegistryAddress, 0,
 			contract.RegisterCallData(p.name), cfg.Chain.Gas, 1_000_000, 1)
@@ -354,9 +395,11 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 			return nil, nil, err
 		}
 		p.nonce++
-		regTxs = append(regTxs, tx)
+		if err := be.Submit(tx); err != nil {
+			return nil, nil, fmt.Errorf("bfl: registration tx: %w", err)
+		}
 	}
-	if err := mineAndApply(peers, 0, regTxs, virtualMs); err != nil {
+	if _, err := commitRound(be, sink, 0, 0, cfg.Peers, virtualMs); err != nil {
 		return nil, nil, fmt.Errorf("bfl: registration block: %w", err)
 	}
 
@@ -401,8 +444,8 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 			sink.Emit(event.PeerTrained{Round: round, Peer: p.name, Samples: updates[i].NumSamples, SimMs: p.simTrainMs})
 		}
 
-		// 2. Submit signed model transactions; gossip to every mempool.
-		var subTxs []*chain.Transaction
+		// 2. Submit signed model transactions; gossip into every peer's
+		// pending set and commit the round's submission block.
 		blobBytes := make([]int, cfg.Peers)
 		for i, p := range peers {
 			blob := nn.EncodeWeights(updates[i].Weights)
@@ -413,11 +456,13 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 				return nil, nil, err
 			}
 			p.nonce++
-			subTxs = append(subTxs, tx)
+			if err := be.Submit(tx); err != nil {
+				return nil, nil, fmt.Errorf("bfl: round %d submission tx: %w", round, err)
+			}
 		}
-		virtualMs += uint64(cfg.Chain.TargetIntervalMs)
+		virtualMs += clockStep
 		leader := (round - 1) % cfg.Peers
-		if err := mineAndApply(peers, leader, subTxs, virtualMs); err != nil {
+		if _, err := commitRound(be, sink, round, leader, cfg.Peers, virtualMs); err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d submission block: %w", round, err)
 		}
 		for i, p := range peers {
@@ -432,10 +477,10 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 		// its own state, and fills index-addressed slots, so the block
 		// assembled below is identical to the sequential run's.
 		decTxs := make([]*chain.Transaction, cfg.Peers)
-		remoteArrival := arrivalTimes(cfg, peers, updates)
+		remoteArrival := arrivalTimes(cfg, peers, updates, be.CommitLatencyMs())
 		if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
 			p := peers[i]
-			onChain, err := readUpdates(p.chain, round)
+			onChain, err := readUpdates(be, i, round)
 			if err != nil {
 				return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
 			}
@@ -506,51 +551,58 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, *chain.Chain, e
 				Rejected:    st.Rejected,
 			})
 		}
-		virtualMs += uint64(cfg.Chain.TargetIntervalMs)
-		if err := mineAndApply(peers, leader, decTxs, virtualMs); err != nil {
+		for _, tx := range decTxs {
+			if err := be.Submit(tx); err != nil {
+				return nil, nil, fmt.Errorf("bfl: round %d decision tx: %w", round, err)
+			}
+		}
+		virtualMs += clockStep
+		if _, err := commitRound(be, sink, round, leader, cfg.Peers, virtualMs); err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d decision block: %w", round, err)
 		}
 		sink.Emit(event.RoundEnd{Round: round})
 	}
 	res.TrainWallTime = time.Since(trainStart)
-	res.Chain = chainStats(peers[0].chain)
-	return res, peers[0].chain, nil
+	res.Chain = chainStats(be)
+	return res, be, nil
 }
 
-// mineAndApply has the leader assemble and mine a block with txs, then
-// applies it to every peer's chain (deterministic stand-in for block
-// gossip; the live harness in peer.go races for real).
-func mineAndApply(peers []*peerState, leader int, txs []*chain.Transaction, timeMs uint64) error {
-	b := peers[leader].chain.AssembleAndMine(peers[leader].key.Address(), txs, timeMs, 0, nil)
-	if b == nil {
-		return fmt.Errorf("mining aborted")
+// commitRound commits everything pending as one batch, requires the
+// commit to have included exactly the round's transactions (the
+// deterministic runner never leaves a straggler pending), and emits
+// the BlockCommitted event.
+func commitRound(be ledger.Backend, sink event.Sink, round, leader, wantTxs int, timeMs uint64) (ledger.Commit, error) {
+	c, err := be.Commit(leader, timeMs)
+	if err != nil {
+		return c, err
 	}
-	if len(b.Txs) != len(txs) {
-		return fmt.Errorf("assembled %d of %d txs", len(b.Txs), len(txs))
+	if c.Txs != wantTxs {
+		return c, fmt.Errorf("committed %d of %d txs", c.Txs, wantTxs)
 	}
-	for _, p := range peers {
-		if _, err := p.chain.AddBlock(b); err != nil {
-			return fmt.Errorf("peer %s: %w", p.name, err)
-		}
-	}
-	return nil
+	sink.Emit(event.BlockCommitted{
+		Round:     round,
+		Backend:   be.Name(),
+		Height:    c.Height,
+		Txs:       c.Txs,
+		GasUsed:   c.GasUsed,
+		LatencyMs: c.LatencyMs,
+	})
+	return c, nil
 }
 
-// readUpdates reconstructs the round's model updates from a peer's own
-// chain view: contract records give digests + carrying-tx hashes; the
-// weight bytes are fetched from canonical-chain calldata and verified.
-func readUpdates(c *chain.Chain, round int) ([]*fl.Update, error) {
-	st := c.StateCopy()
+// readUpdates reconstructs the round's model updates from one peer's
+// ledger view: contract records give digests + carrying-tx hashes; the
+// weight bytes are fetched from committed-tx calldata and verified.
+func readUpdates(be ledger.Backend, peer, round int) ([]*fl.Update, error) {
+	st := be.StateView(peer)
 	subs := contract.SubmissionsAt(st, uint64(round))
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("no submissions on chain")
 	}
-	// Index canonical txs once.
+	// Index committed txs once.
 	txByHash := make(map[chain.Hash]*chain.Transaction)
-	for _, b := range c.CanonicalChain() {
-		for _, tx := range b.Txs {
-			txByHash[tx.Hash()] = tx
-		}
+	for _, tx := range be.CommittedTxs(peer) {
+		txByHash[tx.Hash()] = tx
 	}
 	out := make([]*fl.Update, 0, len(subs))
 	for _, sub := range subs {
@@ -586,12 +638,19 @@ func readUpdates(c *chain.Chain, round int) ([]*fl.Update, error) {
 }
 
 // arrivalTimes computes the deterministic arrival-time model: each
-// peer's update becomes visible at train-duration + network delay.
-func arrivalTimes(cfg Config, peers []*peerState, updates []*fl.Update) map[string]float64 {
+// peer's update becomes visible at train-duration + network delay —
+// and, when CommitLatency modeling is on, not before the ledger's next
+// commit boundary (the simnet visibility rule), so wait policies face
+// the block-interval delays the backend implies.
+func arrivalTimes(cfg Config, peers []*peerState, updates []*fl.Update, commitIntervalMs float64) map[string]float64 {
 	out := make(map[string]float64, len(peers))
 	for i, p := range peers {
 		blobKB := float64(nn.EncodedSize(len(updates[i].Weights))) / 1024
-		out[p.name] = p.simTrainMs + cfg.BaseLatencyMs + blobKB*cfg.PerKBMs
+		at := p.simTrainMs + cfg.BaseLatencyMs + blobKB*cfg.PerKBMs
+		if cfg.CommitLatency {
+			at = simnet.CommitVisibilityMs(at, commitIntervalMs)
+		}
+		out[p.name] = at
 	}
 	return out
 }
@@ -661,22 +720,22 @@ func comboLabel(combo fl.Combo, keptClients []string) string {
 	return buf.String()
 }
 
-// chainStats summarizes a chain's canonical footprint.
-func chainStats(c *chain.Chain) ChainStats {
-	var out ChainStats
-	for _, b := range c.CanonicalChain() {
-		out.Blocks++
-		out.Txs += len(b.Txs)
-		out.GasUsed += b.Header.GasUsed
-		out.Bytes += b.Size()
-		for _, tx := range b.Txs {
-			if method, _, err := contract.DecodeCall(tx.Payload); err == nil {
-				switch method {
-				case "submit":
-					out.Submissions++
-				case "record":
-					out.Decisions++
-				}
+// chainStats summarizes the ledger's committed footprint.
+func chainStats(be ledger.Backend) ChainStats {
+	fp := be.Footprint()
+	out := ChainStats{
+		Blocks:  fp.Blocks,
+		Txs:     fp.Txs,
+		GasUsed: fp.GasUsed,
+		Bytes:   fp.Bytes,
+	}
+	for _, tx := range be.CommittedTxs(0) {
+		if method, _, err := contract.DecodeCall(tx.Payload); err == nil {
+			switch method {
+			case "submit":
+				out.Submissions++
+			case "record":
+				out.Decisions++
 			}
 		}
 	}

@@ -119,30 +119,42 @@ func (c *Chain) AssembleAndMine(miner keys.Address, candidates []*Transaction, t
 		Difficulty: NextDifficulty(&head.Header, timeMs, c.cfg.TargetIntervalMs, c.cfg.MinDifficulty),
 		GasLimit:   c.cfg.BlockGasLimit,
 	}
-	var (
-		included []*Transaction
-		gasUsed  uint64
-	)
-	for _, tx := range candidates {
-		if err := tx.ValidateBasic(c.cfg.Gas); err != nil {
-			continue
-		}
-		if gasUsed+tx.GasLimit > header.GasLimit {
-			continue // would not fit even in the worst case
-		}
-		rec, err := ApplyTx(c.cfg.Gas, st, tx, miner, c.proc)
-		if err != nil {
-			continue // stateful rejection: leave for a later block
-		}
-		gasUsed += rec.GasUsed
-		included = append(included, tx)
-	}
+	included, gasUsed := SelectTxs(c.cfg.Gas, st, miner, c.proc, candidates, header.GasLimit)
 	header.GasUsed = gasUsed
 	header.TxRoot = MerkleRoot(included)
 	if !Mine(&header, startNonce, quit) {
 		return nil
 	}
 	return &Block{Header: header, Txs: included}
+}
+
+// SelectTxs is the block-building selection rule shared by every
+// sealing substrate (PoW assembly above, authority sealing in
+// internal/ledger): execute candidates in order against st (mutated in
+// place), skipping stateless-invalid transactions, transactions whose
+// worst-case gas would not fit under gasLimit, and stateful rejections
+// (bad nonce, insufficient funds — left for a later block). It returns
+// the included transactions and their total gas.
+func SelectTxs(gs GasSchedule, st *State, miner keys.Address, proc Processor, candidates []*Transaction, gasLimit uint64) ([]*Transaction, uint64) {
+	var (
+		included []*Transaction
+		gasUsed  uint64
+	)
+	for _, tx := range candidates {
+		if err := tx.ValidateBasic(gs); err != nil {
+			continue
+		}
+		if gasUsed+tx.GasLimit > gasLimit {
+			continue // would not fit even in the worst case
+		}
+		rec, err := ApplyTx(gs, st, tx, miner, proc)
+		if err != nil {
+			continue // stateful rejection: leave for a later block
+		}
+		gasUsed += rec.GasUsed
+		included = append(included, tx)
+	}
+	return included, gasUsed
 }
 
 // NewTx is a convenience constructor that builds and signs a contract

@@ -1,0 +1,162 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+// Deep-reorg coverage for AddBlock's fork handling and the
+// stateAtLocked branch replay: chain_test.go proves the two-block
+// switch; these tests pin the mechanics underneath — historical state
+// on a side branch, receipts surviving off-canonical, reorging back to
+// an extended original branch, and tie-breaking by first-seen.
+
+func TestStateAtSideBranchReplays(t *testing.T) {
+	c, ks := newTestChain(t)
+
+	// Canonical branch A: one tx from ks[0].
+	txA := signedTx(t, ks[0], 0, ks[1].Address(), []byte("a"))
+	a1 := mineNext(t, c, ks[0], []*Transaction{txA})
+	if _, err := c.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Side branch B from genesis with a different tx, built on a twin
+	// chain sharing genesis.
+	c2 := New(testConfig(), testAlloc(ks), nil)
+	txB := signedTx(t, ks[1], 0, ks[2].Address(), []byte("b"))
+	b1 := mineNext(t, c2, ks[1], []*Transaction{txB})
+	if _, err := c2.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	reorged, err := c.AddBlock(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reorged || c.Head().Hash() != a1.Hash() {
+		t.Fatal("equal-weight side branch displaced the first-seen head")
+	}
+
+	// StateAt must replay the side branch from genesis: txB applied,
+	// txA not.
+	st, err := c.StateAt(b1.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Account(ks[1].Address()).Nonce != 1 {
+		t.Fatal("side-branch state missing its own tx")
+	}
+	if st.Account(ks[0].Address()).Nonce != 0 {
+		t.Fatal("side-branch state leaked the canonical branch's tx")
+	}
+	// And the head state is served from cache, not replay.
+	headSt, err := c.StateAt(a1.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headSt.Account(ks[0].Address()).Nonce != 1 {
+		t.Fatal("head state lost the canonical tx")
+	}
+	// Receipts are retained for both branches.
+	if len(c.Receipts(a1.Hash())) != 1 || len(c.Receipts(b1.Hash())) != 1 {
+		t.Fatal("receipts missing for one branch")
+	}
+	// Unknown block: replay must fail loudly.
+	if _, err := c.StateAt(Hash{0xde, 0xad}); !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("unknown block state = %v, want ErrUnknownParent", err)
+	}
+}
+
+func TestReorgBackAndForth(t *testing.T) {
+	c, ks := newTestChain(t)
+
+	// A-branch: a1 with a tx (canonical first).
+	txA := signedTx(t, ks[0], 0, ks[1].Address(), []byte("a"))
+	a1 := mineNext(t, c, ks[0], []*Transaction{txA})
+	if _, err := c.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+
+	// B-branch: two empty blocks built on a twin — heavier, reorgs c.
+	cB := New(testConfig(), testAlloc(ks), nil)
+	b1 := mineNext(t, cB, ks[1], nil)
+	if _, err := cB.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mineNext(t, cB, ks[1], nil)
+	if _, err := cB.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	reorged, err := c.AddBlock(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reorged || c.Head().Hash() != b2.Hash() {
+		t.Fatal("heavier B-branch must take the head")
+	}
+	if c.StateCopy().Account(ks[0].Address()).Nonce != 0 {
+		t.Fatal("reorg kept the A-branch tx applied")
+	}
+
+	// Extend A past B on a twin that followed the A-branch: the
+	// original transaction returns to the canonical state.
+	cA := New(testConfig(), testAlloc(ks), nil)
+	if _, err := cA.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+	a2 := mineNext(t, cA, ks[0], nil)
+	if _, err := cA.AddBlock(a2); err != nil {
+		t.Fatal(err)
+	}
+	a3 := mineNext(t, cA, ks[0], nil)
+	if _, err := cA.AddBlock(a3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBlock(a2); err != nil {
+		t.Fatal(err)
+	}
+	reorged, err = c.AddBlock(a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reorged || c.Head().Hash() != a3.Hash() {
+		t.Fatal("extended A-branch must re-take the head")
+	}
+	if c.StateCopy().Account(ks[0].Address()).Nonce != 1 {
+		t.Fatal("reorg back to A lost its tx")
+	}
+	// Canonical path is genesis → a1 → a2 → a3.
+	canon := c.CanonicalChain()
+	if len(canon) != 4 || canon[1].Hash() != a1.Hash() || canon[3].Hash() != a3.Hash() {
+		t.Fatalf("canonical chain wrong after double reorg (len %d)", len(canon))
+	}
+	// The losing branch's blocks remain retrievable.
+	if c.GetBlock(b2.Hash()) == nil {
+		t.Fatal("losing branch block dropped from the store")
+	}
+}
+
+// TestAddBlockDuplicateAndOrphans pins AddBlock's bookkeeping errors
+// around forks: duplicates and unknown parents must be rejected
+// without disturbing the head.
+func TestAddBlockDuplicateAndOrphans(t *testing.T) {
+	c, ks := newTestChain(t)
+	a1 := mineNext(t, c, ks[0], nil)
+	if _, err := c.AddBlock(a1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBlock(a1); !errors.Is(err, ErrKnownBlock) {
+		t.Fatalf("duplicate block error = %v, want ErrKnownBlock", err)
+	}
+	orphan := *a1
+	orphan.Header.ParentHash = Hash{0x42}
+	if _, err := c.AddBlock(&orphan); !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("orphan error = %v, want ErrUnknownParent", err)
+	}
+	if c.Head().Hash() != a1.Hash() {
+		t.Fatal("rejected blocks disturbed the head")
+	}
+}

@@ -85,6 +85,24 @@ type ModelSubmitted struct {
 // EventName implements Event.
 func (ModelSubmitted) EventName() string { return "model-submitted" }
 
+// BlockCommitted reports one ledger commit in the decentralized
+// experiment: the registration block (Round 0), then a submission and
+// a decision block per round. Backend names the consensus substrate,
+// Height the block number (batch index for the instant backend), and
+// LatencyMs the backend's modeled commit latency — the block-interval
+// delay wait policies face when commit latency is modeled.
+type BlockCommitted struct {
+	Round     int
+	Backend   string
+	Height    uint64
+	Txs       int
+	GasUsed   uint64
+	LatencyMs float64
+}
+
+// EventName implements Event.
+func (BlockCommitted) EventName() string { return "block-committed" }
+
 // AggregationDecided reports one aggregation decision. In the
 // decentralized run every peer decides for itself (Peer names it); in
 // the vanilla run the central aggregator decides once per round and
@@ -120,8 +138,11 @@ func (RoundEnd) EventName() string { return "round-end" }
 // sweep; events arrive in index order even when policies run
 // concurrently.
 type PolicyDone struct {
-	Index         int
-	Policy        string
+	Index  int
+	Policy string
+	// Backend names the consensus substrate the arm ran on; empty when
+	// the sweep ran on the experiment's single default backend.
+	Backend       string
 	FinalAccuracy float64
 	MeanWaitMs    float64
 	MeanIncluded  float64
@@ -139,11 +160,16 @@ func String(ev Event) string {
 		return fmt.Sprintf("%s r%d %s%s", e.EventName(), e.Round, e.Peer, armSuffix(e.Arm))
 	case ModelSubmitted:
 		return fmt.Sprintf("%s r%d %s", e.EventName(), e.Round, e.Peer)
+	case BlockCommitted:
+		return fmt.Sprintf("%s r%d %s h%d n=%d", e.EventName(), e.Round, e.Backend, e.Height, e.Txs)
 	case AggregationDecided:
 		return fmt.Sprintf("%s r%d %s%s n=%d", e.EventName(), e.Round, e.Peer, armSuffix(e.Arm), e.Included)
 	case RoundEnd:
 		return fmt.Sprintf("%s r%d%s", e.EventName(), e.Round, armSuffix(e.Arm))
 	case PolicyDone:
+		if e.Backend != "" {
+			return fmt.Sprintf("%s %d %s@%s", e.EventName(), e.Index, e.Policy, e.Backend)
+		}
 		return fmt.Sprintf("%s %d %s", e.EventName(), e.Index, e.Policy)
 	default:
 		return ev.EventName()

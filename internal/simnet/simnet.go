@@ -286,13 +286,7 @@ func SimulateRounds(cfg RoundConfig, policy core.WaitPolicy) RoundStats {
 				visible[i] = complete[i]
 				continue
 			}
-			submitted := complete[i] + cfg.NetworkMs
-			if cfg.BlockIntervalMs > 0 {
-				k := int(submitted/cfg.BlockIntervalMs) + 1
-				visible[i] = float64(k) * cfg.BlockIntervalMs
-			} else {
-				visible[i] = submitted
-			}
+			visible[i] = CommitVisibilityMs(complete[i]+cfg.NetworkMs, cfg.BlockIntervalMs)
 		}
 		// Walk visibility order; fire when the policy says so (but not
 		// before our own model exists).
@@ -335,6 +329,20 @@ func SimulateRounds(cfg RoundConfig, policy core.WaitPolicy) RoundStats {
 		out.MeanAgeMs = ageSum / float64(ageCount)
 	}
 	return out
+}
+
+// CommitVisibilityMs quantizes an update's visibility to the ledger's
+// commit interval: an update submitted at submittedMs becomes readable
+// at the first block boundary strictly after it, or immediately when
+// the interval is zero (the instant backend). This is the commit-
+// latency hook the experiment runner shares with the round simulator,
+// so wait policies face the same block-interval delays in both.
+func CommitVisibilityMs(submittedMs, intervalMs float64) float64 {
+	if intervalMs <= 0 {
+		return submittedMs
+	}
+	k := int(submittedMs/intervalMs) + 1
+	return float64(k) * intervalMs
 }
 
 // sortedIdx returns indices of v in ascending value order (stable).

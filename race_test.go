@@ -112,3 +112,48 @@ func TestRaceSmokeSweeps(t *testing.T) {
 	waitornot.ThroughputVsBlockGas([]uint64{1_000_000, 10_000_000}, 100_000, 9)
 	waitornot.RoundLatencyByPolicy(6, waitornot.DefaultPolicies(6), 9)
 }
+
+// TestRaceSmokeConsensusLadder pushes the ledger backends through the
+// genuinely concurrent paths. The instant backend is the only one
+// this PR gives cross-goroutine shared state (the frozen StateView
+// snapshot and the committed-tx slice), so first a 4-peer instant run
+// at Parallelism 8 makes the parallel decision workers read that
+// shared view concurrently; then a backends × policies sweep with
+// enough worker budget for inner parallelism >= 2 exercises the cross
+// product itself.
+func TestRaceSmokeConsensusLadder(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         4,
+		Rounds:          1,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		Backend:         "instant",
+		Parallelism:     8,
+	}
+	if _, err := waitornot.RunDecentralized(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Clients = 3
+	opts.StragglerFactor = []float64{1, 1, 3}
+	opts.CommitLatency = true
+	opts.Backend = ""
+	// 2 policies x 3 backends = 6 arms; Parallelism 12 leaves each
+	// arm an inner pool of 2, so decision workers inside every arm
+	// also run concurrently.
+	opts.Parallelism = 12
+	res, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(waitornot.Policy{Kind: waitornot.WaitAll}, waitornot.Policy{Kind: waitornot.FirstK, K: 1}),
+		waitornot.WithBackends("pow", "poa", "instant")).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tradeoff.Outcomes) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(res.Tradeoff.Outcomes))
+	}
+}

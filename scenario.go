@@ -28,6 +28,10 @@ type Scenario struct {
 	// Policies is the wait-policy ladder (KindTradeoff only; nil
 	// means DefaultPolicies for the client count).
 	Policies []Policy
+	// Backends is the consensus-backend ladder (KindTradeoff only;
+	// nil means the single Options.Backend). With both ladders set the
+	// sweep is backends × policies, one frontier per substrate.
+	Backends []string
 }
 
 // Experiment builds an Experiment from the scenario plus overrides
@@ -63,6 +67,13 @@ func RegisterScenario(s Scenario) error {
 	}
 	for _, p := range s.Policies {
 		if err := p.Validate(); err != nil {
+			return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
+		}
+	}
+	for _, b := range s.Backends {
+		probe := s.Options
+		probe.Backend = b
+		if err := probe.Validate(); err != nil {
 			return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
 		}
 	}
@@ -152,6 +163,18 @@ func init() {
 		Kind:        KindTradeoff,
 		Options:     Options{StragglerFactor: []float64{1, 1, 3}},
 		Policies:    DefaultPolicies(3),
+	})
+	MustRegisterScenario(Scenario{
+		Name: "consensus-ladder",
+		Description: "backends x wait policies: pow vs poa vs instant commit latency " +
+			"under the full wait ladder with a 3x straggler",
+		Kind: KindTradeoff,
+		Options: Options{
+			StragglerFactor: []float64{1, 1, 3},
+			CommitLatency:   true,
+		},
+		Policies: DefaultPolicies(3),
+		Backends: []string{"pow", "poa", "instant"},
 	})
 	MustRegisterScenario(Scenario{
 		Name:        "async-ladder",

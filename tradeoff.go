@@ -15,6 +15,10 @@ import (
 // PolicyOutcome summarizes one wait policy's run in the trade-off study.
 type PolicyOutcome struct {
 	Policy string
+	// Backend names the consensus substrate this arm committed
+	// through; empty when the experiment ran on the unnamed default
+	// (Options.Backend left blank, no backend ladder).
+	Backend string
 	// FinalAccuracy is the mean adopted-model test accuracy across
 	// peers in the final round.
 	FinalAccuracy float64
@@ -50,33 +54,45 @@ func RunTradeoff(opts Options, policies []Policy) (*TradeoffReport, error) {
 }
 
 // runTradeoffExperiment is the engine-facing trade-off runner behind
-// Experiment.Run. Per-policy runs execute concurrently with their
+// Experiment.Run. Per-arm runs execute concurrently with their
 // round-level events suppressed (they would interleave
-// nondeterministically); instead one PolicyDone per policy streams
+// nondeterministically); instead one PolicyDone per arm streams
 // out, restored to sweep order by an orderedEmitter, so observers see
 // a deterministic stream without losing streaming entirely.
-func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy, sink event.Sink) (*TradeoffReport, error) {
+//
+// The sweep is the cross product backends × policies: when backends is
+// empty the single Options.Backend runs (the classic policy sweep,
+// with outcomes' Backend left empty); otherwise each backend runs the
+// full policy ladder, backend-major, so the report reads as one
+// frontier per consensus substrate.
+func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy, backends []string, sink event.Sink) (*TradeoffReport, error) {
 	for _, p := range policies {
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
 	}
+	if len(backends) == 0 {
+		backends = []string{opts.Backend}
+	}
 	opts = opts.withDefaults()
 	opts.SkipComboTables = true
+	arms := len(backends) * len(policies)
 	workers := par.Workers(opts.Parallelism)
-	if inner := workers / max(1, len(policies)); inner >= 1 {
+	if inner := workers / max(1, arms); inner >= 1 {
 		opts.Parallelism = inner
 	} else {
 		opts.Parallelism = 1
 	}
 	emit := newOrderedEmitter(sink)
-	outcomes, err := par.MapCtx(ctx, workers, len(policies), func(i int) (PolicyOutcome, error) {
-		p := policies[i]
+	outcomes, err := par.MapCtx(ctx, workers, arms, func(i int) (PolicyOutcome, error) {
+		b := backends[i/len(policies)]
+		p := policies[i%len(policies)]
 		o := opts
+		o.Backend = b
 		o.Policy = p
 		rep, err := runDecentralizedExperiment(ctx, o, nil)
 		if err != nil {
-			return PolicyOutcome{}, fmt.Errorf("policy %s: %w", p.Name(), err)
+			return PolicyOutcome{}, fmt.Errorf("policy %s backend %q: %w", p.Name(), b, err)
 		}
 		var acc, wait, included float64
 		var waitN int
@@ -89,8 +105,13 @@ func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy,
 				waitN++
 			}
 		}
+		// b is the arm's effective backend name: explicitly named
+		// substrates label their outcomes even in a single-backend
+		// sweep; only the unnamed default stays blank (keeping the
+		// classic sweep's report and event stream unchanged).
 		out := PolicyOutcome{
 			Policy:        p.Name(),
+			Backend:       b,
 			FinalAccuracy: acc / float64(len(rep.Rounds)),
 			MeanWaitMs:    wait / float64(waitN),
 			MeanIncluded:  included / float64(waitN),
@@ -98,6 +119,7 @@ func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy,
 		emit.emit(i, event.PolicyDone{
 			Index:         i,
 			Policy:        out.Policy,
+			Backend:       out.Backend,
 			FinalAccuracy: out.FinalAccuracy,
 			MeanWaitMs:    out.MeanWaitMs,
 			MeanIncluded:  out.MeanIncluded,
@@ -144,14 +166,30 @@ func (oe *orderedEmitter) emit(i int, ev event.Event) {
 	}
 }
 
-// Table renders the trade-off frontier.
+// Table renders the trade-off frontier. A backend column appears when
+// the sweep spanned consensus backends.
 func (r *TradeoffReport) Table() string {
-	tab := metrics.NewTable(
-		fmt.Sprintf("Wait or not to wait (%s): speed vs precision per wait policy", r.Model),
-		"policy", "final acc", "mean wait (ms)", "mean models")
+	withBackends := false
 	for _, o := range r.Outcomes {
-		tab.Add(o.Policy, metrics.Acc(o.FinalAccuracy),
-			fmt.Sprintf("%.1f", o.MeanWaitMs), fmt.Sprintf("%.2f", o.MeanIncluded))
+		if o.Backend != "" {
+			withBackends = true
+			break
+		}
+	}
+	title := fmt.Sprintf("Wait or not to wait (%s): speed vs precision per wait policy", r.Model)
+	header := []string{"policy", "final acc", "mean wait (ms)", "mean models"}
+	if withBackends {
+		title = fmt.Sprintf("Wait or not to wait (%s): speed vs precision per backend and wait policy", r.Model)
+		header = append([]string{"backend"}, header...)
+	}
+	tab := metrics.NewTable(title, header...)
+	for _, o := range r.Outcomes {
+		row := []string{o.Policy, metrics.Acc(o.FinalAccuracy),
+			fmt.Sprintf("%.1f", o.MeanWaitMs), fmt.Sprintf("%.2f", o.MeanIncluded)}
+		if withBackends {
+			row = append([]string{o.Backend}, row...)
+		}
+		tab.Add(row...)
 	}
 	return tab.ASCII()
 }

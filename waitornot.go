@@ -22,11 +22,13 @@ package waitornot
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"waitornot/internal/bfl"
 	"waitornot/internal/core"
 	"waitornot/internal/fl"
+	"waitornot/internal/ledger"
 	"waitornot/internal/nn"
 )
 
@@ -188,6 +190,18 @@ type Options struct {
 	// client's shard. Default -1 (disabled).
 	PoisonClient   int
 	PoisonFraction float64
+
+	// Backend names the consensus substrate the decentralized rounds
+	// commit through: "pow" (the default — the paper's proof-of-work
+	// chain), "poa" (round-robin authority sealing), "instant" (an
+	// in-memory state machine with no block assembly), or any name
+	// added with RegisterBackend. See Backends() for the registry.
+	Backend string
+	// CommitLatency, when set, quantizes remote-update visibility to
+	// the backend's commit interval (the simnet visibility rule), so
+	// wait policies face realistic block-interval delays. Off by
+	// default, preserving the historical arrival model.
+	CommitLatency bool
 }
 
 // Validate rejects options the engine cannot honour: unknown models,
@@ -206,6 +220,12 @@ func (o Options) Validate() error {
 	}
 	if err := o.Policy.Validate(); err != nil {
 		return err
+	}
+	if o.Backend != "" {
+		if _, ok := ledger.Lookup(o.Backend); !ok {
+			return fmt.Errorf("waitornot: unknown backend %q (registered: %s)",
+				o.Backend, strings.Join(ledger.Names(), ", "))
+		}
 	}
 	o = o.withDefaults()
 	if o.Model != SimpleNN && o.Model != EffNetB0Sim {
@@ -292,5 +312,7 @@ func (o Options) decentralized() bfl.Config {
 		PoisonPeer:      o.PoisonClient,
 		PoisonFrac:      o.PoisonFraction,
 		Parallelism:     o.Parallelism,
+		Backend:         o.Backend,
+		CommitLatency:   o.CommitLatency,
 	}
 }
