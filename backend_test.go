@@ -12,21 +12,12 @@ import (
 
 	"waitornot"
 	"waitornot/internal/bfl"
+	"waitornot/internal/testutil"
 )
 
-// backendOpts is the tiny decentralized run the backend tests share.
-func backendOpts() waitornot.Options {
-	return waitornot.Options{
-		Model:          waitornot.SimpleNN,
-		Clients:        3,
-		Rounds:         2,
-		Seed:           7,
-		TrainPerClient: 90,
-		SelectionSize:  40,
-		TestPerClient:  50,
-		LearningRate:   0.01,
-	}
-}
+// backendOpts is the tiny decentralized run the backend tests share
+// (the same baseline as the determinism suite — see internal/testutil).
+func backendOpts() waitornot.Options { return testutil.TinyOptions() }
 
 // TestPowBackendMatchesLegacyDefault pins that the legacy facade (no
 // backend named) and WithBackend("pow") produce byte-identical

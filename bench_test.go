@@ -1,6 +1,6 @@
 // Benchmark harness: one benchmark per table and figure of the paper,
 // plus the §II-A2 performance premises and the ablations called out in
-// DESIGN.md §5.
+// DESIGN.md §6.
 //
 // The benchmarks run scaled-down versions of each experiment (so the
 // suite finishes in minutes on one core) and report the headline
@@ -249,7 +249,7 @@ func BenchmarkDualTaskInterference(b *testing.B) {
 }
 
 // BenchmarkAblationSelectionSetSize ablates the "consider" scorer's
-// selection-set size (DESIGN.md §5): bigger sets pick better combos but
+// selection-set size (DESIGN.md §6): bigger sets pick better combos but
 // cost linearly more evaluation time.
 func BenchmarkAblationSelectionSetSize(b *testing.B) {
 	for _, size := range []int{40, 120, 300} {

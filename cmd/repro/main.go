@@ -13,6 +13,13 @@
 //	repro -scenarios             list registered scenarios
 //	repro -scenario async-ladder run one, streaming per-round progress
 //
+// Replication: -seeds 1,2,3 (or -replications N) switches to sweep
+// mode — every wait-policy × backend cell is replayed once per seed
+// and the tables report mean ± 95% CI instead of single-seed point
+// estimates. Without -scenario the sweep covers the trade-off study;
+// with -scenario it replicates that scenario (scenarios may also
+// declare their own seed list, e.g. replicated-tradeoff).
+//
 // Model selection: -model simple|effnet|both. Add -fast for a reduced
 // (smoke-test) scale, and -csv to emit machine-readable grids as well.
 // -parallel N bounds the engine's worker pools (0 = all cores, 1 =
@@ -28,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"waitornot"
@@ -46,9 +55,17 @@ func main() {
 		fast        = flag.Bool("fast", false, "reduced scale for smoke testing")
 		csv         = flag.Bool("csv", false, "also print CSV grids")
 		parallel    = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = sequential); results are bit-identical at any setting")
-		noStream    = flag.Bool("quiet", false, "suppress the streamed progress events in -scenario mode")
+		noStream    = flag.Bool("quiet", false, "suppress the streamed progress events in -scenario and sweep modes")
+		seedsFlag   = flag.String("seeds", "", "comma-separated seed list: replicate per seed and report mean ± 95% CI (sweep mode)")
+		repsFlag    = flag.Int("replications", 0, "replicate over N consecutive seeds from -seed (sweep mode; ignored when -seeds is set)")
 	)
 	flag.Parse()
+
+	sweepSeeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: bad -seeds: %v\n", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -68,7 +85,7 @@ func main() {
 		return
 	}
 	if *scenario != "" {
-		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream)
+		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream, *csv, sweepSeeds, *repsFlag)
 		return
 	}
 
@@ -100,6 +117,39 @@ func main() {
 		fmt.Printf("==> %s\n", name)
 		fn()
 		fmt.Printf("<== %s (%v)\n\n", name, time.Since(start).Round(time.Second))
+	}
+
+	// Sweep mode: -seeds / -replications replicate the trade-off study
+	// (the experiment whose numbers need error bars) per seed and
+	// report mean ± 95% CI per cell, streaming one SweepProgress line
+	// per completed replication. An explicit -exp selection cannot be
+	// combined with it — refuse rather than silently run the wrong
+	// experiment.
+	if len(sweepSeeds) > 0 || *repsFlag > 0 {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				fmt.Fprintln(os.Stderr, "repro: -seeds/-replications replicate the trade-off study and cannot be combined with -exp (use -scenario to sweep another workload)")
+				os.Exit(2)
+			}
+		})
+		run("Replicated wait-or-not trade-off", func() {
+			for _, m := range models {
+				o := opts
+				o.Model = m
+				o.StragglerFactor = []float64{1, 1, 3}
+				expOpts := []waitornot.Option{
+					waitornot.WithKind(waitornot.KindTradeoff),
+					waitornot.WithPolicies(waitornot.DefaultPolicies(3)...),
+					waitornot.WithSeeds(sweepSeeds...),
+					waitornot.WithReplications(*repsFlag),
+				}
+				if !*noStream {
+					expOpts = append(expOpts, waitornot.WithObserverFunc(printEvent))
+				}
+				printSweep(ctx, waitornot.New(o, expOpts...), *csv)
+			}
+		})
+		return
 	}
 
 	// Every -exp experiment goes through the Experiment API with the
@@ -195,8 +245,9 @@ func main() {
 
 // runScenario executes one registered scenario through the Experiment
 // API — streaming its typed progress events — and prints the report
-// matching the scenario's kind.
-func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream bool) {
+// matching the scenario's kind. A scenario that declares Seeds (or an
+// explicit -seeds/-replications flag) runs as a replication sweep.
+func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream, csv bool, sweepSeeds []uint64, reps int) {
 	sc, ok := waitornot.LookupScenario(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -scenario %q; registered:\n", name)
@@ -210,11 +261,18 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 	if modelLabel == 0 {
 		modelLabel = waitornot.SimpleNN
 	}
+	sweepMode := len(sc.Seeds) > 0
 	var overrides []waitornot.Option
 	// Flags the user set explicitly override the scenario's registered
 	// configuration; untouched flags leave it as registered.
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
+		case "seeds":
+			overrides = append(overrides, waitornot.WithSeeds(sweepSeeds...))
+			sweepMode = true
+		case "replications":
+			overrides = append(overrides, waitornot.WithSeeds(), waitornot.WithReplications(reps))
+			sweepMode = true
 		case "seed":
 			overrides = append(overrides, waitornot.WithSeed(seed))
 		case "rounds":
@@ -248,13 +306,48 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 
 	start := time.Now()
 	fmt.Printf("==> scenario %s — %s\n", sc.Name, sc.Description)
-	res, err := sc.Experiment(overrides...).Run(ctx)
+	if sweepMode {
+		printSweep(ctx, sc.Experiment(overrides...), csv)
+	} else {
+		res, err := sc.Experiment(overrides...).Run(ctx)
+		if err != nil {
+			exitIfCancelled(err)
+			fatal(err)
+		}
+		printResults(res, modelLabel.String())
+	}
+	fmt.Printf("<== scenario %s (%v)\n", sc.Name, time.Since(start).Round(time.Second))
+}
+
+// printSweep executes a replication sweep and prints the mean ± CI
+// table (plus the cell and raw-run CSVs when requested).
+func printSweep(ctx context.Context, exp *waitornot.Experiment, csv bool) {
+	rep, err := exp.RunSweep(ctx)
 	if err != nil {
 		exitIfCancelled(err)
 		fatal(err)
 	}
-	printResults(res, modelLabel.String())
-	fmt.Printf("<== scenario %s (%v)\n", sc.Name, time.Since(start).Round(time.Second))
+	fmt.Println(rep.Table())
+	if csv {
+		fmt.Println(rep.CSV())
+		fmt.Println(rep.RunsCSV())
+	}
+}
+
+// parseSeeds parses the -seeds flag: a comma-separated uint64 list.
+func parseSeeds(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not a seed (want e.g. -seeds 1,2,3)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // exitIfCancelled turns a context cancellation (Ctrl-C) into the
@@ -318,6 +411,13 @@ func printEvent(ev waitornot.Event) {
 	case waitornot.PolicyDone:
 		fmt.Printf("   policy     %-18s acc %.4f  wait %8.1f ms  models %.2f\n",
 			e.Policy, e.FinalAccuracy, e.MeanWaitMs, e.MeanIncluded)
+	case waitornot.SweepProgress:
+		cell := e.Policy
+		if e.Backend != "" {
+			cell += "@" + e.Backend
+		}
+		fmt.Printf("   replication %3d/%d  seed %-4d %-26s acc %.4f  wait %8.1f ms  models %.2f\n",
+			e.Index+1, e.Total, e.Seed, cell, e.FinalAccuracy, e.MeanWaitMs, e.MeanIncluded)
 	}
 }
 

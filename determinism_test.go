@@ -9,45 +9,23 @@
 package waitornot_test
 
 import (
-	"encoding/json"
 	"reflect"
 	"testing"
 
 	"waitornot"
 	"waitornot/internal/bfl"
 	"waitornot/internal/nn"
+	"waitornot/internal/testutil"
 )
 
-// detOpts is a config small enough to run four times in one test yet
-// non-trivial enough that training, filtering, and the combination
-// search all produce distinguishable numbers.
-func detOpts() waitornot.Options {
-	return waitornot.Options{
-		Model:          waitornot.SimpleNN,
-		Clients:        3,
-		Rounds:         2,
-		Seed:           7,
-		TrainPerClient: 90,
-		SelectionSize:  40,
-		TestPerClient:  50,
-		LearningRate:   0.01,
-	}
-}
+// detOpts is the shared tiny-but-nontrivial configuration (see
+// internal/testutil).
+func detOpts() waitornot.Options { return testutil.TinyOptions() }
 
 // goldenEqual asserts a and b serialize to identical bytes.
 func goldenEqual(t *testing.T, label string, a, b any) {
 	t.Helper()
-	ab, err := json.Marshal(a)
-	if err != nil {
-		t.Fatalf("%s: marshal sequential: %v", label, err)
-	}
-	bb, err := json.Marshal(b)
-	if err != nil {
-		t.Fatalf("%s: marshal parallel: %v", label, err)
-	}
-	if string(ab) != string(bb) {
-		t.Fatalf("%s: parallel run is not byte-identical to sequential\nseq: %s\npar: %s", label, ab, bb)
-	}
+	testutil.GoldenEqual(t, label, a, b)
 }
 
 func TestDecentralizedParallelMatchesSequential(t *testing.T) {

@@ -23,7 +23,9 @@ import "waitornot/internal/event"
 // The vanilla experiment emits the same skeleton once per aggregation
 // arm (Arm = "consider" / "not consider") with a single central
 // AggregationDecided per round; the trade-off study emits one
-// PolicyDone per policy, in sweep order.
+// PolicyDone per policy, in sweep order; a replication sweep
+// (RunSweep) emits one SweepProgress per completed replication, in
+// flat seed-major work-list order.
 type (
 	// Event is one observation from a running experiment; switch on
 	// the concrete types below.
@@ -43,6 +45,9 @@ type (
 	RoundEnd = event.RoundEnd
 	// PolicyDone reports one completed policy of the trade-off sweep.
 	PolicyDone = event.PolicyDone
+	// SweepProgress reports one completed replication of a multi-seed
+	// sweep (RunSweep), in deterministic flat work-list order.
+	SweepProgress = event.SweepProgress
 )
 
 // EventString renders an event compactly for logs.

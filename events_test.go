@@ -12,23 +12,13 @@ import (
 	"testing"
 
 	"waitornot"
+	"waitornot/internal/testutil"
 )
 
 // eventOpts is a deliberately tiny decentralized run: 3 peers x 2
-// rounds with combo tables off, so event tests stay fast.
-func eventOpts() waitornot.Options {
-	return waitornot.Options{
-		Model:           waitornot.SimpleNN,
-		Clients:         3,
-		Rounds:          2,
-		Seed:            7,
-		TrainPerClient:  60,
-		SelectionSize:   30,
-		TestPerClient:   30,
-		LearningRate:    0.01,
-		SkipComboTables: true,
-	}
-}
+// rounds with combo tables off, so event tests stay fast (see
+// internal/testutil).
+func eventOpts() waitornot.Options { return testutil.TinyStreamOptions() }
 
 // collector records the rendered event stream.
 type collector struct {

@@ -57,6 +57,7 @@ type Experiment struct {
 	opts     Options
 	policies []Policy // nil = DefaultPolicies for KindTradeoff
 	backends []string // nil = the single Options.Backend (KindTradeoff)
+	sweep    SweepOptions
 	observer Observer
 	scenario string
 	err      error // deferred construction error, reported by Run
@@ -121,6 +122,25 @@ func WithBackends(names ...string) Option {
 	}
 }
 
+// WithSeeds sets the seed list a RunSweep call replicates over, one
+// independent deterministic run per seed (per policy × backend cell).
+// Ignored by Run, which stays a single-seed entry point. Calling it
+// with zero seeds restores the WithReplications / scenario default.
+func WithSeeds(seeds ...uint64) Option {
+	return func(e *Experiment) {
+		e.sweep.Seeds = make([]uint64, len(seeds))
+		copy(e.sweep.Seeds, seeds)
+	}
+}
+
+// WithReplications sets how many replications RunSweep runs when no
+// explicit seed list is given: n consecutive seeds starting at
+// Options.Seed. Ignored when WithSeeds (or a scenario's Seeds) names
+// the list outright.
+func WithReplications(n int) Option {
+	return func(e *Experiment) { e.sweep.Replications = n }
+}
+
 // WithScenario loads a registered scenario: its kind, options, and
 // policy ladder replace the experiment's. Pass it first and layer
 // overrides (WithSeed, WithParallelism, ...) after it. An unknown
@@ -147,6 +167,11 @@ func (e *Experiment) applyScenario(s Scenario) {
 	if len(s.Backends) > 0 {
 		e.backends = make([]string, len(s.Backends))
 		copy(e.backends, s.Backends)
+	}
+	e.sweep = SweepOptions{}
+	if len(s.Seeds) > 0 {
+		e.sweep.Seeds = make([]uint64, len(s.Seeds))
+		copy(e.sweep.Seeds, s.Seeds)
 	}
 }
 

@@ -151,6 +151,28 @@ type PolicyDone struct {
 // EventName implements Event.
 func (PolicyDone) EventName() string { return "policy-done" }
 
+// SweepProgress reports one completed replication of a multi-seed
+// sweep: the run at (Seed, Policy, Backend) finished with the headline
+// metrics below. Index is the replication's position in the flat
+// seed-major work list and Total the sweep size; events arrive in
+// index order even when replications run concurrently, so Index/Total
+// double as a deterministic progress meter.
+type SweepProgress struct {
+	Index  int
+	Total  int
+	Seed   uint64
+	Policy string
+	// Backend names the consensus substrate the replication ran on;
+	// empty when the sweep ran on the unnamed default.
+	Backend       string
+	FinalAccuracy float64
+	MeanWaitMs    float64
+	MeanIncluded  float64
+}
+
+// EventName implements Event.
+func (SweepProgress) EventName() string { return "sweep-progress" }
+
 // String renders an event compactly for logs and tests.
 func String(ev Event) string {
 	switch e := ev.(type) {
@@ -171,6 +193,11 @@ func String(ev Event) string {
 			return fmt.Sprintf("%s %d %s@%s", e.EventName(), e.Index, e.Policy, e.Backend)
 		}
 		return fmt.Sprintf("%s %d %s", e.EventName(), e.Index, e.Policy)
+	case SweepProgress:
+		if e.Backend != "" {
+			return fmt.Sprintf("%s %d/%d seed=%d %s@%s", e.EventName(), e.Index+1, e.Total, e.Seed, e.Policy, e.Backend)
+		}
+		return fmt.Sprintf("%s %d/%d seed=%d %s", e.EventName(), e.Index+1, e.Total, e.Seed, e.Policy)
 	default:
 		return ev.EventName()
 	}

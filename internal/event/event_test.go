@@ -11,6 +11,7 @@ func TestEventNamesStable(t *testing.T) {
 		"aggregation-decided": AggregationDecided{},
 		"round-end":           RoundEnd{},
 		"policy-done":         PolicyDone{},
+		"sweep-progress":      SweepProgress{},
 	}
 	for want, ev := range cases {
 		if got := ev.EventName(); got != want {
@@ -35,6 +36,10 @@ func TestString(t *testing.T) {
 		"aggregation-decided r1 C n=3": AggregationDecided{Round: 1, Peer: "C", Included: 3},
 		"round-end r4":                 RoundEnd{Round: 4},
 		"policy-done 1 first-2":        PolicyDone{Index: 1, Policy: "first-2"},
+		"sweep-progress 2/6 seed=3 wait-all": SweepProgress{
+			Index: 1, Total: 6, Seed: 3, Policy: "wait-all"},
+		"sweep-progress 6/12 seed=2 first-1@pow": SweepProgress{
+			Index: 5, Total: 12, Seed: 2, Policy: "first-1", Backend: "pow"},
 	}
 	for want, ev := range cases {
 		if got := String(ev); got != want {

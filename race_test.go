@@ -113,6 +113,45 @@ func TestRaceSmokeSweeps(t *testing.T) {
 	waitornot.RoundLatencyByPolicy(6, waitornot.DefaultPolicies(6), 9)
 }
 
+// TestRaceSmokeSweep pushes the replication sweep through its
+// genuinely concurrent paths: seed × policy × backend replications
+// racing in the flat work list, the order-restoring SweepProgress
+// emitter, and the post-drain statistics accumulation, with enough
+// worker budget that replications also parallelize internally.
+func TestRaceSmokeSweep(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         3,
+		Rounds:          1,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		StragglerFactor: []float64{1, 1, 3},
+		CommitLatency:   true,
+		// 2 seeds x 2 policies x 2 backends = 8 replications;
+		// Parallelism 16 leaves each an inner pool of 2.
+		Parallelism: 16,
+	}
+	var events int
+	rep, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(waitornot.Policy{Kind: waitornot.WaitAll}, waitornot.Policy{Kind: waitornot.FirstK, K: 1}),
+		waitornot.WithBackends("pow", "instant"),
+		waitornot.WithSeeds(9, 10),
+		waitornot.WithObserverFunc(func(waitornot.Event) { events++ })).RunSweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 8 || len(rep.Cells) != 4 {
+		t.Fatalf("runs=%d cells=%d, want 8/4", len(rep.Runs), len(rep.Cells))
+	}
+	if events != 8 {
+		t.Fatalf("observer saw %d SweepProgress events, want 8", events)
+	}
+}
+
 // TestRaceSmokeConsensusLadder pushes the ledger backends through the
 // genuinely concurrent paths. The instant backend is the only one
 // this PR gives cross-goroutine shared state (the frozen StateView

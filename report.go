@@ -188,6 +188,26 @@ func runDecentralizedExperiment(ctx context.Context, opts Options, sink event.Si
 	return rep, nil
 }
 
+// Headline reduces the report to the trade-off study's three headline
+// metrics: the mean adopted-model final-round accuracy across peers,
+// and the mean per-round aggregation wait and included-model count
+// across peers and rounds. The per-policy outcomes of RunTradeoff and
+// the per-replication samples of RunSweep are both this reduction.
+func (r *DecentralizedReport) Headline() (finalAccuracy, meanWaitMs, meanIncluded float64) {
+	var acc, wait, included float64
+	var waitN int
+	for peer := range r.Rounds {
+		rounds := r.Rounds[peer]
+		acc += rounds[len(rounds)-1].ChosenAccuracy
+		for _, ri := range rounds {
+			wait += ri.WaitMs
+			included += float64(ri.Included)
+			waitN++
+		}
+	}
+	return acc / float64(len(r.Rounds)), wait / float64(waitN), included / float64(waitN)
+}
+
 // PeerTable renders one peer's combination table (the paper's Table II,
 // III, or IV for peers 0, 1, 2).
 func (r *DecentralizedReport) PeerTable(peer int, model string) string {

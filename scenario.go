@@ -32,6 +32,11 @@ type Scenario struct {
 	// nil means the single Options.Backend). With both ladders set the
 	// sweep is backends × policies, one frontier per substrate.
 	Backends []string
+	// Seeds, when set, declares the scenario as a replicated sweep:
+	// RunSweep replays every policy × backend cell once per seed and
+	// reports mean ± 95% CI per cell. Run ignores it (a scenario stays
+	// runnable as a single-seed experiment at Options.Seed).
+	Seeds []uint64
 }
 
 // Experiment builds an Experiment from the scenario plus overrides
@@ -76,6 +81,13 @@ func RegisterScenario(s Scenario) error {
 		if err := probe.Validate(); err != nil {
 			return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
 		}
+	}
+	seen := map[uint64]bool{}
+	for _, seed := range s.Seeds {
+		if seen[seed] {
+			return fmt.Errorf("waitornot: scenario %q: duplicate sweep seed %d", s.Name, seed)
+		}
+		seen[seed] = true
 	}
 	scenarioMu.Lock()
 	defer scenarioMu.Unlock()
@@ -163,6 +175,15 @@ func init() {
 		Kind:        KindTradeoff,
 		Options:     Options{StragglerFactor: []float64{1, 1, 3}},
 		Policies:    DefaultPolicies(3),
+	})
+	MustRegisterScenario(Scenario{
+		Name: "replicated-tradeoff",
+		Description: "the stragglers trade-off replicated over 5 seeds: " +
+			"mean ± 95% CI per wait policy (run with -seeds/-replications to resize)",
+		Kind:     KindTradeoff,
+		Options:  Options{StragglerFactor: []float64{1, 1, 3}},
+		Policies: DefaultPolicies(3),
+		Seeds:    []uint64{1, 2, 3, 4, 5},
 	})
 	MustRegisterScenario(Scenario{
 		Name: "consensus-ladder",

@@ -17,6 +17,9 @@ func TestBuiltinScenarioLibrary(t *testing.T) {
 		"poisoning":        KindDecentralized,
 		"stragglers":       KindTradeoff,
 		"async-ladder":     KindTradeoff,
+		"consensus-ladder": KindTradeoff,
+
+		"replicated-tradeoff": KindTradeoff, // declares Seeds (a sweep)
 	}
 	for name, kind := range wantKinds {
 		s, ok := LookupScenario(name)
@@ -70,6 +73,11 @@ func TestRegisterScenarioRejections(t *testing.T) {
 		Name: "x-bad-policy", Kind: KindTradeoff, Policies: []Policy{{Kind: FirstK}},
 	}); err == nil {
 		t.Fatal("accepted an invalid policy ladder")
+	}
+	if err := RegisterScenario(Scenario{
+		Name: "x-dup-seeds", Kind: KindTradeoff, Seeds: []uint64{3, 3},
+	}); err == nil {
+		t.Fatal("accepted duplicate sweep seeds")
 	}
 }
 

@@ -1,0 +1,339 @@
+package waitornot
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"waitornot/internal/event"
+	"waitornot/internal/metrics"
+	"waitornot/internal/par"
+	"waitornot/internal/stats"
+)
+
+// SweepOptions configure a replication sweep: the seeds RunSweep
+// replays every policy × backend cell over. Exactly one axis is
+// needed — an explicit seed list, or a replication count expanded to
+// consecutive seeds from Options.Seed.
+type SweepOptions struct {
+	// Seeds is the explicit seed list (one independent run per seed
+	// per cell). Duplicates are rejected: replaying a seed would
+	// double-count one deterministic outcome as two samples.
+	Seeds []uint64
+	// Replications, when Seeds is empty, expands to the seed list
+	// {Options.Seed, Options.Seed+1, ..., Options.Seed+Replications-1}.
+	Replications int
+}
+
+// seedList resolves the effective seed list, validating it.
+func (so SweepOptions) seedList(base uint64) ([]uint64, error) {
+	if len(so.Seeds) > 0 {
+		seen := map[uint64]bool{}
+		for _, s := range so.Seeds {
+			if seen[s] {
+				return nil, fmt.Errorf("waitornot: duplicate sweep seed %d (each replication must be an independent run)", s)
+			}
+			seen[s] = true
+		}
+		seeds := make([]uint64, len(so.Seeds))
+		copy(seeds, so.Seeds)
+		return seeds, nil
+	}
+	if so.Replications > 0 {
+		seeds := make([]uint64, so.Replications)
+		for i := range seeds {
+			seeds[i] = base + uint64(i)
+		}
+		return seeds, nil
+	}
+	return nil, fmt.Errorf("waitornot: a sweep needs seeds: use WithSeeds, WithReplications, or a scenario that declares Seeds")
+}
+
+// Summary is the per-cell distribution of one sweep metric: streaming
+// moments over the cell's replications plus the half-width of the
+// normal-approximation 95% confidence interval for the mean (0 when
+// the cell holds a single sample — never NaN). See DESIGN.md §5 for
+// the statistics model.
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	CI95 float64 `json:"ci95"`
+}
+
+func summaryOf(w *stats.Welford) Summary {
+	s := w.Summary()
+	return Summary{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max, CI95: s.CI95}
+}
+
+// String renders the summary the way the sweep table does: mean ±
+// 95% CI half-width at the given decimal precision.
+func (s Summary) String() string { return s.format(4) }
+
+func (s Summary) format(decimals int) string {
+	return fmt.Sprintf("%.*f ± %.*f", decimals, s.Mean, decimals, s.CI95)
+}
+
+// SweepRun is one replication of a sweep: the headline outcome of a
+// single deterministic run at (Seed, Policy, Backend) — bit-identical
+// to what a standalone Experiment.Run at that seed reports for the
+// same cell.
+type SweepRun struct {
+	Seed    uint64 `json:"seed"`
+	Policy  string `json:"policy"`
+	Backend string `json:"backend,omitempty"`
+	// FinalAccuracy / MeanWaitMs / MeanIncluded are the trade-off
+	// study's headline metrics (DecentralizedReport.Headline).
+	FinalAccuracy float64 `json:"final_accuracy"`
+	MeanWaitMs    float64 `json:"mean_wait_ms"`
+	MeanIncluded  float64 `json:"mean_included"`
+}
+
+// SweepCell aggregates one policy × backend cell over every seed.
+type SweepCell struct {
+	Policy  string `json:"policy"`
+	Backend string `json:"backend,omitempty"`
+	// Accuracy / WaitMs / Included summarize the cell's replications.
+	Accuracy Summary `json:"accuracy"`
+	WaitMs   Summary `json:"wait_ms"`
+	Included Summary `json:"included"`
+}
+
+// SweepReport is a replication sweep's output: the raw per-replication
+// runs (seed-major, then backend-major, then policy order — the flat
+// work-list order SweepProgress events stream in) and the per-cell
+// distributions (backend-major × policy order, matching
+// TradeoffReport.Outcomes).
+type SweepReport struct {
+	Model    Model       `json:"model"`
+	Scenario string      `json:"scenario,omitempty"`
+	Seeds    []uint64    `json:"seeds"`
+	Runs     []SweepRun  `json:"runs"`
+	Cells    []SweepCell `json:"cells"`
+}
+
+// RunSweep executes the experiment once per seed × policy × backend
+// and reports each cell's outcome distribution as mean ± 95% CI. It
+// is the multi-seed sibling of Run: where Run answers "what happened
+// at this seed", RunSweep answers "what happens on average, and how
+// sure are we" — the form the paper's trade-off curve needs to be
+// distinguishable from RNG noise.
+//
+// The replications are scheduled as one flat work list through the
+// deterministic worker pool: outer-loop parallelism across cells,
+// each replication an independent single-seed run (inner parallelism
+// shrinks so total concurrency stays near Options.Parallelism). Every
+// replication is bit-identical to a standalone Experiment.Run at the
+// same seed, at any Parallelism — so the sweep adds statistics, never
+// noise. Observers receive one SweepProgress per replication in flat
+// work-list order; per-round events are suppressed (they would
+// interleave across concurrent replications).
+//
+// KindTradeoff sweeps the full policy × backend ladder per seed;
+// KindDecentralized sweeps the single configured policy and backend.
+// KindVanilla has no wait/latency semantics and is rejected. Combo
+// tables are always skipped: the sweep consumes only headline metrics.
+func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if err := e.opts.Validate(); err != nil {
+		return nil, err
+	}
+	seeds, err := e.sweep.seedList(e.opts.withDefaults().Seed)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		policies []Policy
+		backends []string
+	)
+	switch e.kind {
+	case KindTradeoff:
+		policies = e.policies
+		if policies == nil {
+			n := e.opts.Clients
+			if n == 0 {
+				n = 3
+			}
+			policies = DefaultPolicies(n)
+		}
+		for _, p := range policies {
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		backends = e.backends
+		if len(backends) == 0 {
+			backends = []string{e.opts.Backend}
+		}
+	case KindDecentralized:
+		policies = []Policy{e.opts.Policy}
+		backends = []string{e.opts.Backend}
+	default:
+		return nil, fmt.Errorf("waitornot: %v experiments cannot be swept (no wait/latency metrics); use KindTradeoff or KindDecentralized", e.kind)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	opts := e.opts.withDefaults()
+	opts.SkipComboTables = true
+	cells := len(backends) * len(policies)
+	total := len(seeds) * cells
+	workers := par.Workers(opts.Parallelism)
+	if inner := workers / max(1, total); inner >= 1 {
+		opts.Parallelism = inner
+	} else {
+		opts.Parallelism = 1
+	}
+
+	emit := newOrderedEmitter(observerSink(e.observer))
+	runs, err := par.MapCtx(ctx, workers, total, func(i int) (SweepRun, error) {
+		seed := seeds[i/cells]
+		b := backends[(i%cells)/len(policies)]
+		p := policies[i%len(policies)]
+		o := opts
+		o.Seed = seed
+		o.Backend = b
+		o.Policy = p
+		rep, err := runDecentralizedExperiment(ctx, o, nil)
+		if err != nil {
+			return SweepRun{}, fmt.Errorf("seed %d policy %s backend %q: %w", seed, p.Name(), b, err)
+		}
+		acc, wait, included := rep.Headline()
+		run := SweepRun{
+			Seed:          seed,
+			Policy:        p.Name(),
+			Backend:       b,
+			FinalAccuracy: acc,
+			MeanWaitMs:    wait,
+			MeanIncluded:  included,
+		}
+		emit.emit(i, event.SweepProgress{
+			Index:         i,
+			Total:         total,
+			Seed:          seed,
+			Policy:        run.Policy,
+			Backend:       run.Backend,
+			FinalAccuracy: acc,
+			MeanWaitMs:    wait,
+			MeanIncluded:  included,
+		})
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Accumulate cells from the index-ordered run list: each cell's
+	// accumulator sees its samples in seed order no matter how the
+	// pool scheduled the replications, keeping the report bit-stable.
+	grid := stats.NewGrid()
+	for _, r := range runs {
+		grid.Observe(r.Policy, r.Backend, "accuracy", r.FinalAccuracy)
+		grid.Observe(r.Policy, r.Backend, "wait_ms", r.MeanWaitMs)
+		grid.Observe(r.Policy, r.Backend, "included", r.MeanIncluded)
+	}
+	rep := &SweepReport{Model: opts.Model, Scenario: e.scenario, Seeds: seeds, Runs: runs}
+	for _, b := range backends {
+		for _, p := range policies {
+			cell := SweepCell{Policy: p.Name(), Backend: b}
+			if w, ok := grid.Cell(cell.Policy, b, "accuracy"); ok {
+				cell.Accuracy = summaryOf(w)
+			}
+			if w, ok := grid.Cell(cell.Policy, b, "wait_ms"); ok {
+				cell.WaitMs = summaryOf(w)
+			}
+			if w, ok := grid.Cell(cell.Policy, b, "included"); ok {
+				cell.Included = summaryOf(w)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// withBackendColumn reports whether any cell names a backend (the
+// table and CSV add the column only then, keeping the classic
+// single-substrate sweep's output shape unchanged).
+func (r *SweepReport) withBackendColumn() bool {
+	for _, c := range r.Cells {
+		if c.Backend != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders the per-cell distributions as `mean ± 95% CI` — the
+// replicated form of TradeoffReport.Table. A backend column appears
+// when the sweep spanned consensus backends.
+func (r *SweepReport) Table() string {
+	withBackends := r.withBackendColumn()
+	title := fmt.Sprintf("Wait or not to wait (%s): speed vs precision per wait policy, mean ± 95%% CI over %d seeds",
+		r.Model, len(r.Seeds))
+	header := []string{"policy", "n", "final acc", "mean wait (ms)", "mean models"}
+	if withBackends {
+		title = fmt.Sprintf("Wait or not to wait (%s): speed vs precision per backend and wait policy, mean ± 95%% CI over %d seeds",
+			r.Model, len(r.Seeds))
+		header = append([]string{"backend"}, header...)
+	}
+	tab := metrics.NewTable(title, header...)
+	for _, c := range r.Cells {
+		row := []string{c.Policy, fmt.Sprint(c.Accuracy.N),
+			c.Accuracy.format(4), c.WaitMs.format(1), c.Included.format(2)}
+		if withBackends {
+			row = append([]string{c.Backend}, row...)
+		}
+		tab.Add(row...)
+	}
+	return tab.ASCII()
+}
+
+// CSV renders the per-cell distributions machine-readably, one row
+// per cell with the full summary (mean, std, min, max, CI half-width)
+// of each metric — the grid plotting scripts consume.
+func (r *SweepReport) CSV() string {
+	withBackends := r.withBackendColumn()
+	header := []string{"policy", "n"}
+	if withBackends {
+		header = append([]string{"backend"}, header...)
+	}
+	for _, m := range []string{"acc", "wait_ms", "included"} {
+		header = append(header, m+"_mean", m+"_std", m+"_min", m+"_max", m+"_ci95")
+	}
+	tab := metrics.NewTable("", header...)
+	f := func(v float64) string { return fmt.Sprintf("%g", v) }
+	for _, c := range r.Cells {
+		row := []string{c.Policy, fmt.Sprint(c.Accuracy.N)}
+		if withBackends {
+			row = append([]string{c.Backend}, row...)
+		}
+		for _, s := range []Summary{c.Accuracy, c.WaitMs, c.Included} {
+			row = append(row, f(s.Mean), f(s.Std), f(s.Min), f(s.Max), f(s.CI95))
+		}
+		tab.Add(row...)
+	}
+	return tab.CSV()
+}
+
+// RunsCSV renders the raw per-replication samples, one row per run in
+// flat work-list order — for plotting distributions rather than
+// summaries.
+func (r *SweepReport) RunsCSV() string {
+	tab := metrics.NewTable("", "seed", "backend", "policy", "final_accuracy", "mean_wait_ms", "mean_included")
+	for _, run := range r.Runs {
+		tab.Add(fmt.Sprint(run.Seed), run.Backend, run.Policy,
+			fmt.Sprintf("%g", run.FinalAccuracy), fmt.Sprintf("%g", run.MeanWaitMs), fmt.Sprintf("%g", run.MeanIncluded))
+	}
+	return tab.CSV()
+}
+
+// JSON renders the full report (seeds, raw runs, and cell summaries)
+// as indented JSON.
+func (r *SweepReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,268 @@
+// Replication-sweep tests: RunSweep must schedule seed × policy ×
+// backend replications through the deterministic pool with every cell
+// bit-identical to a standalone run at that seed, render mean ± 95% CI
+// tables and exports byte-for-byte reproducibly at any Parallelism,
+// stream SweepProgress in flat work-list order, and cancel
+// cooperatively.
+package waitornot_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"waitornot"
+	"waitornot/internal/testutil"
+)
+
+// sweepOpts is the small fixed sweep the golden tests pin: a tiny
+// straggler run with commit latency modeled, so the pow and instant
+// rows differ and the table exercises the backend column.
+func sweepOpts() waitornot.Options {
+	opts := testutil.TinyStreamOptions()
+	opts.Rounds = 1
+	opts.StragglerFactor = []float64{1, 1, 3}
+	opts.CommitLatency = true
+	return opts
+}
+
+// sweepPolicies is the golden sweep's two-policy ladder.
+func sweepPolicies() []waitornot.Policy {
+	return []waitornot.Policy{
+		{Kind: waitornot.WaitAll},
+		{Kind: waitornot.FirstK, K: 1},
+	}
+}
+
+func runGoldenSweep(t *testing.T, parallelism int, extra ...waitornot.Option) *waitornot.SweepReport {
+	t.Helper()
+	opts := sweepOpts()
+	opts.Parallelism = parallelism
+	expOpts := append([]waitornot.Option{
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(sweepPolicies()...),
+		waitornot.WithBackends("pow", "instant"),
+		waitornot.WithSeeds(1, 2, 3),
+	}, extra...)
+	rep, err := waitornot.New(opts, expOpts...).RunSweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestSweepReportGolden pins SweepReport.Table(), the cell and raw-run
+// CSVs, and the JSON export byte-for-byte for the fixed sweep
+// (seeds {1,2,3} × {wait-all, first-1} × {pow, instant}), at
+// Parallelism 1 and at NumCPU: the rendered statistics may depend on
+// nothing but the configuration.
+func TestSweepReportGolden(t *testing.T) {
+	seq := runGoldenSweep(t, 1)
+	par := runGoldenSweep(t, 0)
+	testutil.GoldenEqual(t, "sweep-report", seq, par)
+	if par.Table() != seq.Table() || par.CSV() != seq.CSV() || par.RunsCSV() != seq.RunsCSV() {
+		t.Fatal("sweep renderings differ across Parallelism")
+	}
+	seqJSON, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.GoldenFile(t, filepath.Join("testdata", "sweep_table.golden"), []byte(seq.Table()))
+	testutil.GoldenFile(t, filepath.Join("testdata", "sweep_cells.golden.csv"), []byte(seq.CSV()))
+	testutil.GoldenFile(t, filepath.Join("testdata", "sweep_runs.golden.csv"), []byte(seq.RunsCSV()))
+	testutil.GoldenFile(t, filepath.Join("testdata", "sweep_report.golden.json"), seqJSON)
+}
+
+// TestSweepMatchesSoloRuns proves the acceptance criterion: every
+// replication of the sweep is bit-identical to a standalone
+// Experiment.Run at the same seed — the sweep adds statistics, never
+// noise.
+func TestSweepMatchesSoloRuns(t *testing.T) {
+	rep := runGoldenSweep(t, 0)
+	if len(rep.Runs) != 3*2*2 {
+		t.Fatalf("got %d runs, want seeds × backends × policies = 12", len(rep.Runs))
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		opts := sweepOpts()
+		solo, err := waitornot.New(opts,
+			waitornot.WithKind(waitornot.KindTradeoff),
+			waitornot.WithPolicies(sweepPolicies()...),
+			waitornot.WithBackends("pow", "instant"),
+			waitornot.WithSeed(seed)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []waitornot.SweepRun
+		for _, r := range rep.Runs {
+			if r.Seed == seed {
+				got = append(got, r)
+			}
+		}
+		outcomes := solo.Tradeoff.Outcomes
+		if len(got) != len(outcomes) {
+			t.Fatalf("seed %d: %d sweep runs vs %d solo outcomes", seed, len(got), len(outcomes))
+		}
+		for i, o := range outcomes {
+			r := got[i]
+			if r.Policy != o.Policy || r.Backend != o.Backend {
+				t.Fatalf("seed %d arm %d: sweep ran (%s, %s), solo ran (%s, %s)",
+					seed, i, r.Policy, r.Backend, o.Policy, o.Backend)
+			}
+			// Exact float equality: bit-identical, not merely close.
+			if r.FinalAccuracy != o.FinalAccuracy || r.MeanWaitMs != o.MeanWaitMs || r.MeanIncluded != o.MeanIncluded {
+				t.Fatalf("seed %d %s@%s: sweep (%v, %v, %v) != solo (%v, %v, %v)",
+					seed, r.Policy, r.Backend,
+					r.FinalAccuracy, r.MeanWaitMs, r.MeanIncluded,
+					o.FinalAccuracy, o.MeanWaitMs, o.MeanIncluded)
+			}
+		}
+	}
+}
+
+// TestSweepProgressStreamOrder: SweepProgress events arrive in flat
+// seed-major work-list order with correct Index/Total, even when the
+// replications run concurrently.
+func TestSweepProgressStreamOrder(t *testing.T) {
+	col := &collector{}
+	runGoldenSweep(t, 8, waitornot.WithObserver(col))
+	want := []string{
+		"sweep-progress 1/12 seed=1 wait-all@pow",
+		"sweep-progress 2/12 seed=1 first-1@pow",
+		"sweep-progress 3/12 seed=1 wait-all@instant",
+		"sweep-progress 4/12 seed=1 first-1@instant",
+		"sweep-progress 5/12 seed=2 wait-all@pow",
+		"sweep-progress 6/12 seed=2 first-1@pow",
+		"sweep-progress 7/12 seed=2 wait-all@instant",
+		"sweep-progress 8/12 seed=2 first-1@instant",
+		"sweep-progress 9/12 seed=3 wait-all@pow",
+		"sweep-progress 10/12 seed=3 first-1@pow",
+		"sweep-progress 11/12 seed=3 wait-all@instant",
+		"sweep-progress 12/12 seed=3 first-1@instant",
+	}
+	if len(col.events) != len(want) {
+		t.Fatalf("got %d events: %q", len(col.events), col.events)
+	}
+	for i := range want {
+		if col.events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (full stream %q)", i, col.events[i], want[i], col.events)
+		}
+	}
+}
+
+// TestSweepCancellation cancels from inside the observer on the first
+// SweepProgress: the pool must stop claiming replications and RunSweep
+// must surface ctx.Err() with no partial report.
+func TestSweepCancellation(t *testing.T) {
+	opts := sweepOpts()
+	opts.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := waitornot.ObserverFunc(func(ev waitornot.Event) {
+		if _, ok := ev.(waitornot.SweepProgress); ok {
+			cancel()
+		}
+	})
+	rep, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(sweepPolicies()...),
+		waitornot.WithSeeds(1, 2, 3),
+		waitornot.WithObserver(obs)).RunSweep(ctx)
+	if !errors.Is(err, context.Canceled) || rep != nil {
+		t.Fatalf("rep=%v err=%v, want nil + context.Canceled", rep, err)
+	}
+}
+
+// TestSweepSingleSeedRendersClean: a one-replication sweep is a
+// degenerate distribution — the table must render `± 0.0000`, never
+// NaN, per the stats package's n < 2 contract.
+func TestSweepSingleSeedRendersClean(t *testing.T) {
+	opts := sweepOpts()
+	rep, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindDecentralized),
+		waitornot.WithSeeds(5)).RunSweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || len(rep.Cells) != 1 {
+		t.Fatalf("runs=%d cells=%d, want 1/1", len(rep.Runs), len(rep.Cells))
+	}
+	table := rep.Table()
+	if strings.Contains(table, "NaN") {
+		t.Fatalf("single-sample table contains NaN:\n%s", table)
+	}
+	if !strings.Contains(table, "± 0.0000") {
+		t.Fatalf("single-sample accuracy cell should render a zero CI:\n%s", table)
+	}
+	if c := rep.Cells[0]; c.Accuracy.N != 1 || c.Accuracy.CI95 != 0 || c.Accuracy.Std != 0 {
+		t.Fatalf("single-sample cell summary = %+v", c.Accuracy)
+	}
+}
+
+// TestSweepReplicationsExpandFromBaseSeed: WithReplications(n) with no
+// explicit list sweeps n consecutive seeds from Options.Seed.
+func TestSweepReplicationsExpandFromBaseSeed(t *testing.T) {
+	opts := sweepOpts() // Seed: 7
+	rep, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindDecentralized),
+		waitornot.WithReplications(2)).RunSweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Seeds) != 2 || rep.Seeds[0] != 7 || rep.Seeds[1] != 8 {
+		t.Fatalf("seeds = %v, want [7 8]", rep.Seeds)
+	}
+	if rep.Cells[0].Accuracy.N != 2 {
+		t.Fatalf("cell n = %d, want 2", rep.Cells[0].Accuracy.N)
+	}
+}
+
+// TestSweepRejectsBadConfigurations: no seeds, duplicate seeds, and
+// the vanilla kind must all fail fast with named errors.
+func TestSweepRejectsBadConfigurations(t *testing.T) {
+	ctx := context.Background()
+	if _, err := waitornot.New(sweepOpts()).RunSweep(ctx); err == nil ||
+		!strings.Contains(err.Error(), "WithSeeds") {
+		t.Fatalf("seedless sweep: err = %v, want a hint at WithSeeds", err)
+	}
+	if _, err := waitornot.New(sweepOpts(), waitornot.WithSeeds(4, 4)).RunSweep(ctx); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate seeds: err = %v, want a duplicate-seed rejection", err)
+	}
+	if _, err := waitornot.New(sweepOpts(),
+		waitornot.WithKind(waitornot.KindVanilla),
+		waitornot.WithSeeds(1, 2)).RunSweep(ctx); err == nil ||
+		!strings.Contains(err.Error(), "vanilla") {
+		t.Fatalf("vanilla sweep: err = %v, want a kind rejection", err)
+	}
+}
+
+// TestReplicatedScenarioSweeps: the registered replicated-tradeoff
+// scenario declares its seed list, so Scenario.Experiment().RunSweep
+// is a one-liner; explicit WithSeeds overrides it.
+func TestReplicatedScenarioSweeps(t *testing.T) {
+	sc, ok := waitornot.LookupScenario("replicated-tradeoff")
+	if !ok {
+		t.Fatal("replicated-tradeoff not registered")
+	}
+	if len(sc.Seeds) != 5 {
+		t.Fatalf("scenario seeds = %v, want 5 of them", sc.Seeds)
+	}
+	rep, err := sc.Experiment(
+		waitornot.WithSeeds(11, 12),
+		waitornot.WithRounds(1),
+		waitornot.WithFastScale()).RunSweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Seeds) != 2 || rep.Seeds[0] != 11 || rep.Seeds[1] != 12 {
+		t.Fatalf("override seeds = %v, want [11 12]", rep.Seeds)
+	}
+	if rep.Scenario != "replicated-tradeoff" {
+		t.Fatalf("scenario label = %q", rep.Scenario)
+	}
+	if len(rep.Cells) != len(sc.Policies) {
+		t.Fatalf("cells = %d, want one per policy = %d", len(rep.Cells), len(sc.Policies))
+	}
+}

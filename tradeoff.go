@@ -94,17 +94,7 @@ func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy,
 		if err != nil {
 			return PolicyOutcome{}, fmt.Errorf("policy %s backend %q: %w", p.Name(), b, err)
 		}
-		var acc, wait, included float64
-		var waitN int
-		for peer := range rep.Rounds {
-			rounds := rep.Rounds[peer]
-			acc += rounds[len(rounds)-1].ChosenAccuracy
-			for _, ri := range rounds {
-				wait += ri.WaitMs
-				included += float64(ri.Included)
-				waitN++
-			}
-		}
+		acc, wait, included := rep.Headline()
 		// b is the arm's effective backend name: explicitly named
 		// substrates label their outcomes even in a single-backend
 		// sweep; only the unnamed default stays blank (keeping the
@@ -112,9 +102,9 @@ func runTradeoffExperiment(ctx context.Context, opts Options, policies []Policy,
 		out := PolicyOutcome{
 			Policy:        p.Name(),
 			Backend:       b,
-			FinalAccuracy: acc / float64(len(rep.Rounds)),
-			MeanWaitMs:    wait / float64(waitN),
-			MeanIncluded:  included / float64(waitN),
+			FinalAccuracy: acc,
+			MeanWaitMs:    wait,
+			MeanIncluded:  included,
 		}
 		emit.emit(i, event.PolicyDone{
 			Index:         i,
