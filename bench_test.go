@@ -9,6 +9,7 @@
 package waitornot_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -544,4 +545,59 @@ func itoa(v int) string {
 
 func ftoa(v float64) string {
 	return itoa(int(v*100+0.5)) + "pct"
+}
+
+// BenchmarkAsyncVsSync races the two schedules on the same workload:
+// the barriered decentralized round loop vs the un-barriered
+// virtual-clock free run (same peers, rounds, policy, and commit
+// modeling). speedup-x is the REAL wall-clock ratio (sync cost /
+// async cost of running the simulation itself); the modeled time the
+// two schedules consume is reported separately as sync-virtual-ms and
+// async-virtual-ms — compare those two to see what the free run buys
+// on the virtual axis.
+func BenchmarkAsyncVsSync(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.SkipComboTables = true
+	opts.StragglerFactor = []float64{1, 1, 3}
+	opts.Policy = waitornot.Policy{Kind: waitornot.FirstK, K: 2}
+	opts.CommitLatency = true
+
+	var syncWall, asyncWall time.Duration
+	var syncVirtual, asyncVirtual float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rep, err := waitornot.RunDecentralized(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syncWall += time.Since(start)
+		// The barriered run's virtual cost: every round lasts until its
+		// slowest peer fires.
+		var cum float64
+		for ri := range rep.Rounds[0] {
+			var maxWait float64
+			for p := range rep.Rounds {
+				if w := rep.Rounds[p][ri].WaitMs; w > maxWait {
+					maxWait = w
+				}
+			}
+			cum += maxWait
+		}
+		syncVirtual += cum
+
+		start = time.Now()
+		res, err := waitornot.New(opts, waitornot.WithAsync()).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		asyncWall += time.Since(start)
+		asyncVirtual += res.Async.HorizonMs
+	}
+	b.ReportMetric(syncWall.Seconds()/float64(b.N), "seq-sec/op")
+	b.ReportMetric(asyncWall.Seconds()/float64(b.N), "par-sec/op")
+	b.ReportMetric(syncVirtual/float64(b.N), "sync-virtual-ms")
+	b.ReportMetric(asyncVirtual/float64(b.N), "async-virtual-ms")
+	if asyncWall > 0 {
+		b.ReportMetric(float64(syncWall)/float64(asyncWall), "speedup-x")
+	}
 }

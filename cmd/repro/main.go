@@ -58,6 +58,9 @@ func main() {
 		noStream    = flag.Bool("quiet", false, "suppress the streamed progress events in -scenario and sweep modes")
 		seedsFlag   = flag.String("seeds", "", "comma-separated seed list: replicate per seed and report mean ± 95% CI (sweep mode)")
 		repsFlag    = flag.Int("replications", 0, "replicate over N consecutive seeds from -seed (sweep mode; ignored when -seeds is set)")
+		asyncFlag   = flag.Bool("async", false, "run the asynchronous free run: no round barrier, staleness-weighted merging, accuracy vs virtual time")
+		timeBudget  = flag.Float64("time-budget-ms", 0, "virtual-time horizon for -async (0 = run until every peer finishes its rounds)")
+		targetAcc   = flag.Float64("target-acc", 0, "with -seeds/-replications, also sweep time-to-this-accuracy per cell")
 	)
 	flag.Parse()
 
@@ -65,6 +68,32 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repro: bad -seeds: %v\n", err)
 		os.Exit(2)
+	}
+
+	// Validate flag combinations up front: one actionable line instead
+	// of a deep-stack error from whatever layer trips first.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	sweeping := len(sweepSeeds) > 0 || *repsFlag > 0
+	switch {
+	case set["exp"] && *scenario != "":
+		fatalUsage("-exp and -scenario are different run selectors; pick one")
+	case set["exp"] && *asyncFlag:
+		fatalUsage("-async replaces the -exp grids (it is its own experiment); drop -exp, or use -scenario async-free-run")
+	case set["exp"] && sweeping:
+		fatalUsage("-seeds/-replications replicate the trade-off study and cannot be combined with -exp (use -scenario to sweep another workload)")
+	case *asyncFlag && *scenario != "":
+		fatalUsage("-async and -scenario both select what runs; drop -async (async scenarios: async-free-run, hetero-compute)")
+	case set["time-budget-ms"] && !*asyncFlag && *scenario == "":
+		fatalUsage("-time-budget-ms only applies to -async (or an async -scenario)")
+	case *timeBudget < 0:
+		fatalUsage("-time-budget-ms must be >= 0")
+	case set["target-acc"] && !sweeping && *scenario == "":
+		// Scenarios may declare their own seed list; runScenario
+		// re-checks once that is known.
+		fatalUsage("-target-acc is a sweep metric; add -seeds or -replications")
+	case *targetAcc < 0 || *targetAcc > 1:
+		fatalUsage("-target-acc must be an accuracy in [0, 1]")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -85,7 +114,8 @@ func main() {
 		return
 	}
 	if *scenario != "" {
-		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream, *csv, sweepSeeds, *repsFlag)
+		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream, *csv,
+			sweepSeeds, *repsFlag, set["time-budget-ms"], *timeBudget, *targetAcc)
 		return
 	}
 
@@ -119,40 +149,7 @@ func main() {
 		fmt.Printf("<== %s (%v)\n\n", name, time.Since(start).Round(time.Second))
 	}
 
-	// Sweep mode: -seeds / -replications replicate the trade-off study
-	// (the experiment whose numbers need error bars) per seed and
-	// report mean ± 95% CI per cell, streaming one SweepProgress line
-	// per completed replication. An explicit -exp selection cannot be
-	// combined with it — refuse rather than silently run the wrong
-	// experiment.
-	if len(sweepSeeds) > 0 || *repsFlag > 0 {
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "exp" {
-				fmt.Fprintln(os.Stderr, "repro: -seeds/-replications replicate the trade-off study and cannot be combined with -exp (use -scenario to sweep another workload)")
-				os.Exit(2)
-			}
-		})
-		run("Replicated wait-or-not trade-off", func() {
-			for _, m := range models {
-				o := opts
-				o.Model = m
-				o.StragglerFactor = []float64{1, 1, 3}
-				expOpts := []waitornot.Option{
-					waitornot.WithKind(waitornot.KindTradeoff),
-					waitornot.WithPolicies(waitornot.DefaultPolicies(3)...),
-					waitornot.WithSeeds(sweepSeeds...),
-					waitornot.WithReplications(*repsFlag),
-				}
-				if !*noStream {
-					expOpts = append(expOpts, waitornot.WithObserverFunc(printEvent))
-				}
-				printSweep(ctx, waitornot.New(o, expOpts...), *csv)
-			}
-		})
-		return
-	}
-
-	// Every -exp experiment goes through the Experiment API with the
+	// Every experiment goes through the Experiment API with the
 	// interrupt context, so Ctrl-C cancels a full-scale run at the
 	// next round boundary instead of being swallowed.
 	runExperiment := func(o waitornot.Options, m waitornot.Model, extra ...waitornot.Option) *waitornot.Results {
@@ -163,6 +160,65 @@ func main() {
 			fatal(err)
 		}
 		return res
+	}
+
+	// Sweep mode: -seeds / -replications replicate the trade-off study
+	// (the experiment whose numbers need error bars) per seed and
+	// report mean ± 95% CI per cell, streaming one SweepProgress line
+	// per completed replication. With -async the same ladder runs
+	// un-barriered (the async ladder); -target-acc adds the
+	// time-to-target-accuracy cell metric either way.
+	if sweeping {
+		kind := waitornot.KindTradeoff
+		label := "Replicated wait-or-not trade-off"
+		if *asyncFlag {
+			kind = waitornot.KindAsync
+			label = "Replicated asynchronous ladder"
+		}
+		run(label, func() {
+			for _, m := range models {
+				o := opts
+				o.Model = m
+				o.StragglerFactor = []float64{1, 1, 3}
+				if *asyncFlag {
+					o.CommitLatency = true
+					o.TimeBudgetMs = *timeBudget
+				}
+				expOpts := []waitornot.Option{
+					waitornot.WithKind(kind),
+					waitornot.WithPolicies(waitornot.DefaultPolicies(3)...),
+					waitornot.WithSeeds(sweepSeeds...),
+					waitornot.WithReplications(*repsFlag),
+					waitornot.WithTargetAccuracy(*targetAcc),
+				}
+				if !*noStream {
+					expOpts = append(expOpts, waitornot.WithObserverFunc(printEvent))
+				}
+				printSweep(ctx, waitornot.New(o, expOpts...), *csv)
+			}
+		})
+		return
+	}
+
+	// -async: the un-barriered free run — each peer aggregates the
+	// moment its policy fires on the shared virtual clock, and the
+	// report is accuracy vs virtual time.
+	if *asyncFlag {
+		run("Asynchronous free run", func() {
+			for _, m := range models {
+				o := opts
+				o.StragglerFactor = []float64{1, 1, 3}
+				o.Policy = waitornot.Policy{Kind: waitornot.FirstK, K: 2}
+				o.CommitLatency = true
+				o.TimeBudgetMs = *timeBudget
+				res := runExperiment(o, m, waitornot.WithAsync())
+				printResults(res, m.String())
+				if *csv {
+					fmt.Println(res.Async.CSV())
+				}
+			}
+		})
+		return
 	}
 
 	doTable1 := func() {
@@ -247,7 +303,7 @@ func main() {
 // API — streaming its typed progress events — and prints the report
 // matching the scenario's kind. A scenario that declares Seeds (or an
 // explicit -seeds/-replications flag) runs as a replication sweep.
-func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream, csv bool, sweepSeeds []uint64, reps int) {
+func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream, csv bool, sweepSeeds []uint64, reps int, budgetSet bool, budget, targetAcc float64) {
 	sc, ok := waitornot.LookupScenario(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -scenario %q; registered:\n", name)
@@ -255,6 +311,12 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 			fmt.Fprintf(os.Stderr, "  %-18s %s\n", s.Name, s.Description)
 		}
 		os.Exit(2)
+	}
+	if budgetSet && sc.Kind != waitornot.KindAsync {
+		fatalUsage(fmt.Sprintf("-time-budget-ms needs an async scenario; %q is %s", sc.Name, sc.Kind))
+	}
+	if (len(sweepSeeds) > 0 || reps > 0) && sc.Kind == waitornot.KindVanilla {
+		fatalUsage(fmt.Sprintf("scenario %q is the vanilla baseline: it has no wait/latency metrics to replicate; sweep a decentralized, trade-off, or async scenario", sc.Name))
 	}
 
 	modelLabel := sc.Options.Model
@@ -297,6 +359,15 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 			overrides = append(overrides, waitornot.WithModel(modelLabel))
 		}
 	})
+	if budgetSet {
+		overrides = append(overrides, waitornot.WithTimeBudget(budget))
+	}
+	if targetAcc > 0 {
+		if !sweepMode {
+			fatalUsage(fmt.Sprintf("-target-acc is a sweep metric; scenario %q declares no seeds — add -seeds or -replications", sc.Name))
+		}
+		overrides = append(overrides, waitornot.WithTargetAccuracy(targetAcc))
+	}
 	if fast {
 		overrides = append(overrides, waitornot.WithFastScale())
 	}
@@ -378,6 +449,15 @@ func printResults(res *waitornot.Results, model string) {
 			float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)
 	case res.Tradeoff != nil:
 		fmt.Println(res.Tradeoff.Table())
+	case res.Async != nil:
+		rep := res.Async
+		fmt.Println(rep.Table())
+		fmt.Println()
+		fmt.Println(rep.TimeToAccuracyTable(0.3, 0.5, 0.7, 0.8, 0.9))
+		fmt.Println(rep.Summary())
+		fmt.Printf("on-chain footprint: %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n\n",
+			rep.Chain.Blocks, rep.Chain.Txs, rep.Chain.Submissions, rep.Chain.Decisions,
+			float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)
 	}
 }
 
@@ -406,6 +486,9 @@ func printEvent(ev waitornot.Event) {
 		}
 		fmt.Printf("   aggregated %s: %d models in %.1f ms -> {%s} acc %.4f\n",
 			who, e.Included, e.WaitMs, e.ChosenCombo, e.Accuracy)
+	case waitornot.PeerAggregated:
+		fmt.Printf("   merged     %s r%d @ %.1f ms: %d models (staleness %.1f ms) acc %.4f\n",
+			e.Peer, e.Round, e.VirtualMs, e.Included, e.MeanStalenessMs, e.Accuracy)
 	case waitornot.RoundEnd:
 		fmt.Printf("-- round %d done%s\n", e.Round, arm(e.Arm))
 	case waitornot.PolicyDone:
@@ -424,4 +507,11 @@ func printEvent(ev waitornot.Event) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repro:", err)
 	os.Exit(1)
+}
+
+// fatalUsage rejects an invalid flag combination with one actionable
+// line and the conventional usage exit code.
+func fatalUsage(msg string) {
+	fmt.Fprintln(os.Stderr, "repro:", msg)
+	os.Exit(2)
 }

@@ -41,6 +41,9 @@ type (
 	BlockCommitted = event.BlockCommitted
 	// AggregationDecided reports one aggregation decision.
 	AggregationDecided = event.AggregationDecided
+	// PeerAggregated reports one un-barriered aggregation in a
+	// KindAsync run, stamped with its virtual-clock instant.
+	PeerAggregated = event.PeerAggregated
 	// RoundEnd closes a communication round.
 	RoundEnd = event.RoundEnd
 	// PolicyDone reports one completed policy of the trade-off sweep.

@@ -19,6 +19,12 @@ const (
 	// KindTradeoff is the headline speed-vs-precision study: the
 	// decentralized experiment once per wait policy.
 	KindTradeoff
+	// KindAsync is the un-barriered deployment on the shared virtual
+	// clock: each peer aggregates the moment its wait policy fires,
+	// merging available updates with staleness-weighted averaging, and
+	// the report is accuracy-vs-virtual-time rather than per-round
+	// tables.
+	KindAsync
 )
 
 // String implements fmt.Stringer.
@@ -30,6 +36,8 @@ func (k Kind) String() string {
 		return "decentralized"
 	case KindTradeoff:
 		return "tradeoff"
+	case KindAsync:
+		return "async"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -81,6 +89,34 @@ func New(opts Options, os ...Option) *Experiment {
 // WithKind selects the experiment family.
 func WithKind(k Kind) Option {
 	return func(e *Experiment) { e.kind = k }
+}
+
+// WithAsync switches the experiment to the asynchronous mode
+// (KindAsync): no global round barrier — each peer trains, waits only
+// as long as Options.Policy says, staleness-weight-merges what has
+// arrived, and immediately opens its next round on the shared virtual
+// clock.
+func WithAsync() Option {
+	return WithKind(KindAsync)
+}
+
+// WithTimeBudget caps a KindAsync run's virtual horizon in ms (see
+// Options.TimeBudgetMs).
+func WithTimeBudget(ms float64) Option {
+	return func(e *Experiment) { e.opts.TimeBudgetMs = ms }
+}
+
+// WithComputeDistribution draws heterogeneous per-peer per-round
+// training-duration multipliers from d (KindAsync; see
+// Options.ComputeDist).
+func WithComputeDistribution(d Dist) Option {
+	return func(e *Experiment) { e.opts.ComputeDist = d }
+}
+
+// WithNetworkDistribution draws extra per-submission network delay in
+// ms from d (KindAsync; see Options.NetworkDist).
+func WithNetworkDistribution(d Dist) Option {
+	return func(e *Experiment) { e.opts.NetworkDist = d }
 }
 
 // WithObserver attaches an observer to the run's event stream.
@@ -139,6 +175,14 @@ func WithSeeds(seeds ...uint64) Option {
 // the list outright.
 func WithReplications(n int) Option {
 	return func(e *Experiment) { e.sweep.Replications = n }
+}
+
+// WithTargetAccuracy adds time-to-target-accuracy as a sweep metric:
+// every RunSweep replication also reports the virtual time at which
+// its mean accuracy first reached target, summarized per cell as
+// mean ± 95% CI over the replications that got there. Ignored by Run.
+func WithTargetAccuracy(target float64) Option {
+	return func(e *Experiment) { e.sweep.TargetAccuracy = target }
 }
 
 // WithScenario loads a registered scenario: its kind, options, and
@@ -221,6 +265,8 @@ type Results struct {
 	Decentralized *DecentralizedReport
 	// Tradeoff is set for KindTradeoff.
 	Tradeoff *TradeoffReport
+	// Async is set for KindAsync.
+	Async *AsyncReport
 }
 
 // Run executes the experiment. The context cancels cooperatively: the
@@ -268,6 +314,12 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 			return nil, err
 		}
 		res.Tradeoff = rep
+	case KindAsync:
+		rep, err := runAsyncExperiment(ctx, e.opts, sink)
+		if err != nil {
+			return nil, err
+		}
+		res.Async = rep
 	default:
 		return nil, fmt.Errorf("waitornot: unknown experiment kind %v", e.kind)
 	}

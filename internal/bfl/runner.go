@@ -31,6 +31,7 @@ import (
 	"waitornot/internal/nn"
 	"waitornot/internal/par"
 	"waitornot/internal/simnet"
+	"waitornot/internal/vclock"
 	"waitornot/internal/xrand"
 )
 
@@ -84,6 +85,26 @@ type Config struct {
 	// arrival model uses.
 	BaseLatencyMs float64
 	PerKBMs       float64
+	// Compute, when set, draws a per-peer per-round multiplier on the
+	// modeled training duration (heterogeneous compute). The zero
+	// value keeps durations fixed at the calibrated model. Used by the
+	// asynchronous engine (RunAsync); the barriered runner keeps its
+	// historical fixed model.
+	Compute simnet.Dist
+	// Network, when set, draws extra per-submission propagation delay
+	// in ms on top of BaseLatencyMs + size/bandwidth (network jitter).
+	// Asynchronous engine only.
+	Network simnet.Dist
+	// TimeBudgetMs caps the asynchronous run's virtual horizon: peers
+	// stop opening new rounds past it and any peer still waiting
+	// aggregates what it has. 0 means no cap (run until every peer
+	// finishes Rounds aggregations). Ignored by the barriered runner.
+	TimeBudgetMs float64
+	// StalenessHalfLifeMs is the age at which an update's weight in
+	// the asynchronous staleness-weighted merge halves. 0 derives it
+	// from the fleet's mean modeled training duration. Asynchronous
+	// engine only.
+	StalenessHalfLifeMs float64
 	// PoisonPeer, if >= 0, label-flips PoisonFrac of that peer's shard
 	// (the abnormal-client scenario).
 	PoisonPeer int
@@ -176,6 +197,18 @@ func (c Config) Validate() error {
 		if _, ok := ledger.Lookup(c.Backend); !ok {
 			return fmt.Errorf("bfl: unknown backend %q (registered: %v)", c.Backend, ledger.Names())
 		}
+	}
+	if err := c.Compute.Validate(); err != nil {
+		return fmt.Errorf("bfl: compute distribution: %w", err)
+	}
+	if err := c.Network.Validate(); err != nil {
+		return fmt.Errorf("bfl: network distribution: %w", err)
+	}
+	if c.TimeBudgetMs < 0 {
+		return fmt.Errorf("bfl: negative time budget %g", c.TimeBudgetMs)
+	}
+	if c.StalenessHalfLifeMs < 0 {
+		return fmt.Errorf("bfl: negative staleness half-life %g", c.StalenessHalfLifeMs)
 	}
 	return c.Data.Validate()
 }
@@ -291,13 +324,71 @@ func RunDecentralizedWithChain(cfg Config) (*ResultWithChain, error) {
 	return &ResultWithChain{Result: res, CanonicalChain: ch.Chain(0).CanonicalChain()}, nil
 }
 
-func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend, error) {
+// engine is the assembled experiment: data sharded, peers built,
+// ledger backend up, and the shared virtual clock at zero. Both
+// schedules consume it — the barriered runner ticks the clock as a
+// commit-cadence metronome (runDecentralized), the asynchronous
+// runner drives it as a true event queue (runAsync).
+type engine struct {
+	cfg  Config
+	sink event.Sink
+	root *xrand.RNG
+
+	be    ledger.Backend
+	peers []*peerState
+	// initial is the shared starting weight vector every peer adopts.
+	initial []float32
+
+	workers int
+
+	// clock is the virtual-time engine; clockStep the backend's commit
+	// cadence in ms (integral: the historical runner quantized it to
+	// whole ms, and bit-compatibility keeps that).
+	clock     *vclock.Clock
+	clockStep float64
+}
+
+// newEngine builds the experiment state shared by both schedules.
+func newEngine(cfg Config) (*engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	sink := cfg.Events
-	root := xrand.New(cfg.Seed)
+	e := &engine{cfg: cfg, sink: cfg.Events, root: xrand.New(cfg.Seed), clock: vclock.New()}
+	if err := e.setup(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// register submits every peer's identity-registration transaction and
+// commits them as the first batch at the clock's first cadence tick
+// (round 0).
+func (e *engine) register() error {
+	for _, p := range e.peers {
+		tx, err := chain.NewTx(p.key, p.nonce, contract.RegistryAddress, 0,
+			contract.RegisterCallData(p.name), e.cfg.Chain.Gas, 1_000_000, 1)
+		if err != nil {
+			return err
+		}
+		p.nonce++
+		if err := e.be.Submit(tx); err != nil {
+			return fmt.Errorf("bfl: registration tx: %w", err)
+		}
+	}
+	now, err := e.clock.Advance(e.clockStep)
+	if err != nil {
+		return err
+	}
+	if _, err := commitRound(e.be, e.sink, 0, 0, e.cfg.Peers, uint64(now)); err != nil {
+		return fmt.Errorf("bfl: registration block: %w", err)
+	}
+	return nil
+}
+
+// setup generates data, builds peers, and brings the ledger up.
+func (e *engine) setup() error {
+	cfg, root := e.cfg, e.root
 
 	// --- Data ------------------------------------------------------------
 	pool := dataset.Generate(cfg.Data, cfg.TrainPerPeer*cfg.Peers, root.Derive("train-pool"))
@@ -336,7 +427,7 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 		Sealers: sealers,
 	})
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
 	workers := par.Workers(cfg.Parallelism)
 	// Worker-evaluator pools for the per-peer combination searches are
@@ -375,33 +466,40 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 		peers[i] = p
 	}
 
-	// --- Round 0: register identities -------------------------------------
-	// The round clock advances at the backend's commit cadence, so
-	// block timestamps march at the interval the difficulty retarget
-	// rule targets — a backend variant with a slower interval stays at
-	// its difficulty equilibrium instead of climbing every block. For
-	// the default pow substrate the cadence IS the chain's target
-	// interval, preserving the historical schedule bit-for-bit;
-	// zero-latency backends (instant) keep the legacy clock.
-	clockStep := uint64(be.CommitLatencyMs())
-	if clockStep == 0 {
-		clockStep = cfg.Chain.TargetIntervalMs
+	// The clock advances at the backend's commit cadence, so block
+	// timestamps march at the interval the difficulty retarget rule
+	// targets — a backend variant with a slower interval stays at its
+	// difficulty equilibrium instead of climbing every block. For the
+	// default pow substrate the cadence IS the chain's target interval,
+	// preserving the historical schedule bit-for-bit; zero-latency
+	// backends (instant) keep the legacy clock. Quantized to whole ms
+	// exactly as the historical runner's uint64 clock was.
+	step := uint64(be.CommitLatencyMs())
+	if step == 0 {
+		step = cfg.Chain.TargetIntervalMs
 	}
-	virtualMs := clockStep
-	for _, p := range peers {
-		tx, err := chain.NewTx(p.key, p.nonce, contract.RegistryAddress, 0,
-			contract.RegisterCallData(p.name), cfg.Chain.Gas, 1_000_000, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		p.nonce++
-		if err := be.Submit(tx); err != nil {
-			return nil, nil, fmt.Errorf("bfl: registration tx: %w", err)
-		}
+	e.clockStep = float64(step)
+	e.be = be
+	e.peers = peers
+	e.initial = initial
+	e.workers = workers
+	return nil
+}
+
+// runDecentralized is the barriered schedule on the virtual clock:
+// every round, all peers train, the round's submissions commit at the
+// next cadence tick, every peer's policy fires on the shared arrival
+// model (core.FirePolicy), and the decisions commit at the tick after.
+func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	if _, err := commitRound(be, sink, 0, 0, cfg.Peers, virtualMs); err != nil {
-		return nil, nil, fmt.Errorf("bfl: registration block: %w", err)
+	if err := e.register(); err != nil {
+		return nil, nil, err
 	}
+	cfg = e.cfg
+	sink, be, peers, workers := e.sink, e.be, e.peers, e.workers
 
 	res := &Result{
 		Config:        cfg,
@@ -460,9 +558,12 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 				return nil, nil, fmt.Errorf("bfl: round %d submission tx: %w", round, err)
 			}
 		}
-		virtualMs += clockStep
+		now, err := e.clock.Advance(e.clockStep)
+		if err != nil {
+			return nil, nil, err
+		}
 		leader := (round - 1) % cfg.Peers
-		if _, err := commitRound(be, sink, round, leader, cfg.Peers, virtualMs); err != nil {
+		if _, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now)); err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d submission block: %w", round, err)
 		}
 		for i, p := range peers {
@@ -556,8 +657,10 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 				return nil, nil, fmt.Errorf("bfl: round %d decision tx: %w", round, err)
 			}
 		}
-		virtualMs += clockStep
-		if _, err := commitRound(be, sink, round, leader, cfg.Peers, virtualMs); err != nil {
+		if now, err = e.clock.Advance(e.clockStep); err != nil {
+			return nil, nil, err
+		}
+		if _, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now)); err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d decision block: %w", round, err)
 		}
 		sink.Emit(event.RoundEnd{Round: round})
@@ -586,6 +689,7 @@ func commitRound(be ledger.Backend, sink event.Sink, round, leader, wantTxs int,
 		Txs:       c.Txs,
 		GasUsed:   c.GasUsed,
 		LatencyMs: c.LatencyMs,
+		VirtualMs: float64(timeMs),
 	})
 	return c, nil
 }
@@ -655,51 +759,33 @@ func arrivalTimes(cfg Config, peers []*peerState, updates []*fl.Update, commitIn
 	return out
 }
 
-// applyPolicy walks updates in arrival order and returns the subset
-// available when the wait policy fires, plus the firing time in ms. The
-// peer's own update is available the moment its training completes (no
-// network hop) and is always part of the aggregation, matching the
-// paper: a peer never discards its own local model.
+// applyPolicy builds the observer's arrival view — its own update at
+// training completion (no network hop), remote updates at their
+// modeled visibility — and fires the shared core.FirePolicy rule over
+// it, returning the included subset and the firing time. A peer's own
+// update is always part of the aggregation, matching the paper: a
+// peer never discards its own local model.
 func applyPolicy(policy core.WaitPolicy, self string, selfTrainMs float64, updates []*fl.Update, remoteArrival map[string]float64) ([]*fl.Update, float64) {
-	type event struct {
-		at float64
-		u  *fl.Update
-	}
-	events := make([]event, 0, len(updates))
-	for _, u := range updates {
+	arrivals := make([]core.Arrival, len(updates))
+	for i, u := range updates {
 		at := remoteArrival[u.Client]
 		if u.Client == self {
 			at = selfTrainMs
 		}
-		events = append(events, event{at: at, u: u})
+		arrivals[i] = core.Arrival{AtMs: at, Index: i, Self: u.Client == self}
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].AtMs != arrivals[j].AtMs {
+			return arrivals[i].AtMs < arrivals[j].AtMs
 		}
-		return events[i].u.Client < events[j].u.Client
+		return updates[arrivals[i].Index].Client < updates[arrivals[j].Index].Client
 	})
-	// The peer cannot aggregate before its own training is done, so the
-	// round effectively opens then; include every update that has
-	// arrived by each event and probe the policy.
-	expected := len(updates)
-	var included []*fl.Update
-	haveSelf := false
-	for _, ev := range events {
-		included = append(included, ev.u)
-		if ev.u.Client == self {
-			haveSelf = true
-		}
-		if !haveSelf {
-			continue // keep waiting at least for our own model
-		}
-		if policy.Ready(len(included), expected, time.Duration(ev.at*float64(time.Millisecond))) {
-			return included, ev.at
-		}
+	n, firedAt := core.FirePolicy(policy, arrivals, len(updates))
+	included := make([]*fl.Update, n)
+	for i, a := range arrivals[:n] {
+		included[i] = updates[a.Index]
 	}
-	// Policy never fired on arrivals (e.g. pure Timeout with horizon
-	// beyond the last arrival): aggregate everything at the last event.
-	return updates, events[len(events)-1].at
+	return included, firedAt
 }
 
 // comboLabel renders a combo's client names (sorted) using the decision's

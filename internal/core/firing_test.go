@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func arr(at float64, idx int, self bool) Arrival {
+	return Arrival{AtMs: at, Index: idx, Self: self}
+}
+
+// TestFirePolicyWaitsForSelf: a policy can never fire before the
+// observer's own update exists, however many remotes arrive first.
+func TestFirePolicyWaitsForSelf(t *testing.T) {
+	arrivals := []Arrival{arr(10, 1, false), arr(20, 2, false), arr(50, 0, true)}
+	included, at := FirePolicy(FirstK{K: 1}, arrivals, 3)
+	if included != 3 || at != 50 {
+		t.Fatalf("fired with %d at %g, want 3 at 50 (self gate)", included, at)
+	}
+}
+
+// TestFirePolicyFirstK fires at the K-th arrival.
+func TestFirePolicyFirstK(t *testing.T) {
+	arrivals := []Arrival{arr(5, 0, true), arr(30, 1, false), arr(90, 2, false)}
+	included, at := FirePolicy(FirstK{K: 2}, arrivals, 3)
+	if included != 2 || at != 30 {
+		t.Fatalf("fired with %d at %g, want 2 at 30", included, at)
+	}
+}
+
+// TestFirePolicyNeverFiredFallback: a pure Timeout whose horizon
+// outlives the last arrival includes everything at the last arrival —
+// the barriered runner's only remaining instant.
+func TestFirePolicyNeverFiredFallback(t *testing.T) {
+	arrivals := []Arrival{arr(5, 0, true), arr(30, 1, false)}
+	included, at := FirePolicy(Timeout{D: time.Hour}, arrivals, 2)
+	if included != 2 || at != 30 {
+		t.Fatalf("fallback fired with %d at %g, want 2 at 30", included, at)
+	}
+}
+
+// TestFirePolicyTimeoutOnArrival: in the barriered walk a timeout
+// fires at the first arrival past the deadline.
+func TestFirePolicyTimeoutOnArrival(t *testing.T) {
+	arrivals := []Arrival{arr(5, 0, true), arr(80, 1, false), arr(500, 2, false)}
+	included, at := FirePolicy(Timeout{D: 60 * time.Millisecond}, arrivals, 3)
+	if included != 2 || at != 80 {
+		t.Fatalf("fired with %d at %g, want 2 at 80", included, at)
+	}
+}
+
+// TestDeadliner: the timeout families expose their horizon so
+// event-driven engines can schedule a real clock event instead of the
+// fallback.
+func TestDeadliner(t *testing.T) {
+	var p WaitPolicy = Timeout{D: 42 * time.Millisecond}
+	d, ok := p.(Deadliner)
+	if !ok || d.Deadline() != 42*time.Millisecond {
+		t.Fatalf("Timeout deadliner = %v %v", d, ok)
+	}
+	p = KOrTimeout{K: 2, D: time.Second}
+	d, ok = p.(Deadliner)
+	if !ok || d.Deadline() != time.Second {
+		t.Fatalf("KOrTimeout deadliner = %v %v", d, ok)
+	}
+	if _, ok := WaitPolicy(WaitAll{}).(Deadliner); ok {
+		t.Fatal("WaitAll must not advertise a deadline")
+	}
+	if _, ok := WaitPolicy(FirstK{K: 1}).(Deadliner); ok {
+		t.Fatal("FirstK must not advertise a deadline")
+	}
+}

@@ -61,13 +61,17 @@ func (RoundStart) EventName() string { return "round-start" }
 // PeerTrained reports that one participant finished local training for
 // the round. SimMs is the deterministic simulated training duration
 // used by the arrival-time model (0 in the vanilla experiment, which
-// has no arrival model).
+// has no arrival model). VirtualMs is the completion instant on the
+// shared virtual clock (populated by the asynchronous engine, where
+// peers run un-barriered; 0 in the barriered runner, whose arrival
+// model restarts each round).
 type PeerTrained struct {
-	Round   int
-	Peer    string
-	Arm     string
-	Samples int
-	SimMs   float64
+	Round     int
+	Peer      string
+	Arm       string
+	Samples   int
+	SimMs     float64
+	VirtualMs float64
 }
 
 // EventName implements Event.
@@ -75,11 +79,14 @@ func (PeerTrained) EventName() string { return "peer-trained" }
 
 // ModelSubmitted reports that a peer's signed model transaction was
 // committed on-chain (decentralized experiment only). Bytes is the
-// encoded weight payload size.
+// encoded weight payload size. VirtualMs is the instant the
+// transaction reached the gossiped pending set on the virtual clock
+// (asynchronous engine only; 0 in the barriered runner).
 type ModelSubmitted struct {
-	Round int
-	Peer  string
-	Bytes int
+	Round     int
+	Peer      string
+	Bytes     int
+	VirtualMs float64
 }
 
 // EventName implements Event.
@@ -91,6 +98,8 @@ func (ModelSubmitted) EventName() string { return "model-submitted" }
 // Height the block number (batch index for the instant backend), and
 // LatencyMs the backend's modeled commit latency — the block-interval
 // delay wait policies face when commit latency is modeled.
+// VirtualMs is the commit's timestamp on the shared virtual clock —
+// the instant the batch becomes readable on every peer's view.
 type BlockCommitted struct {
 	Round     int
 	Backend   string
@@ -98,6 +107,7 @@ type BlockCommitted struct {
 	Txs       int
 	GasUsed   uint64
 	LatencyMs float64
+	VirtualMs float64
 }
 
 // EventName implements Event.
@@ -122,6 +132,27 @@ type AggregationDecided struct {
 
 // EventName implements Event.
 func (AggregationDecided) EventName() string { return "aggregation-decided" }
+
+// PeerAggregated reports one peer's un-barriered aggregation in the
+// asynchronous engine: at VirtualMs on the shared clock the peer's
+// wait policy fired, it merged Included available updates with
+// staleness-weighted averaging (MeanStalenessMs is their mean age),
+// adopted the result at Accuracy on its test set, and immediately
+// started its next local round. Round is the peer's own round counter
+// — peers drift apart by design, which is the point of async mode.
+type PeerAggregated struct {
+	Round           int
+	Peer            string
+	VirtualMs       float64
+	WaitMs          float64
+	Included        int
+	MeanStalenessMs float64
+	Accuracy        float64
+	Rejected        []string
+}
+
+// EventName implements Event.
+func (PeerAggregated) EventName() string { return "peer-aggregated" }
 
 // RoundEnd closes communication round Round (same Arm convention as
 // RoundStart).
@@ -186,6 +217,8 @@ func String(ev Event) string {
 		return fmt.Sprintf("%s r%d %s h%d n=%d", e.EventName(), e.Round, e.Backend, e.Height, e.Txs)
 	case AggregationDecided:
 		return fmt.Sprintf("%s r%d %s%s n=%d", e.EventName(), e.Round, e.Peer, armSuffix(e.Arm), e.Included)
+	case PeerAggregated:
+		return fmt.Sprintf("%s %s r%d t=%.0f n=%d", e.EventName(), e.Peer, e.Round, e.VirtualMs, e.Included)
 	case RoundEnd:
 		return fmt.Sprintf("%s r%d%s", e.EventName(), e.Round, armSuffix(e.Arm))
 	case PolicyDone:

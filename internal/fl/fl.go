@@ -56,6 +56,39 @@ func FedAvg(updates []*Update) ([]float32, error) {
 	return out, nil
 }
 
+// WeightedFedAvg averages the updates' weight vectors under explicit
+// per-update coefficients — the staleness-weighted merge of the
+// asynchronous engine, where an update's influence decays with its age.
+// Coefficients must be non-negative with a positive sum; they are
+// normalized internally.
+func WeightedFedAvg(updates []*Update, coef []float64) ([]float32, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: WeightedFedAvg of zero updates")
+	}
+	if len(coef) != len(updates) {
+		return nil, fmt.Errorf("fl: %d coefficients for %d updates", len(coef), len(updates))
+	}
+	n := len(updates[0].Weights)
+	var total float64
+	for i, u := range updates {
+		if len(u.Weights) != n {
+			return nil, fmt.Errorf("fl: update %q has %d weights, want %d", u.Client, len(u.Weights), n)
+		}
+		if coef[i] < 0 {
+			return nil, fmt.Errorf("fl: update %q has negative coefficient %g", u.Client, coef[i])
+		}
+		total += coef[i]
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("fl: coefficients sum to %g, want positive", total)
+	}
+	out := make([]float32, n)
+	for i, u := range updates {
+		tensor.Axpy(float32(coef[i]/total), u.Weights, out)
+	}
+	return out, nil
+}
+
 // Combo is a set of client indices whose updates are aggregated together.
 type Combo []int
 

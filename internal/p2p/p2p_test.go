@@ -222,3 +222,90 @@ func TestMessageKindString(t *testing.T) {
 		t.Fatal("kind strings wrong")
 	}
 }
+
+// TestGossipOrderingByLatency pins the ordering semantics the
+// experiment relies on: deliveries respect their scheduled delays, so
+// two messages whose latency gap is large arrive in virtual-latency
+// order regardless of send order — the network reorders by delay, not
+// by submission.
+func TestGossipOrderingByLatency(t *testing.T) {
+	net := NewNetwork(Config{PerKB: 40 * time.Millisecond, Seed: 9})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	// Send the slow (big) message first, the fast (small) one second:
+	// the small one must still arrive first.
+	a.Broadcast(KindBlock, "slow", 16*1024) // ~640ms
+	a.Broadcast(KindTx, "fast", 0)          // immediate
+	first, ok := recv(t, b, 2*time.Second)
+	if !ok {
+		t.Fatal("no delivery")
+	}
+	if first.Payload.(string) != "fast" {
+		t.Fatalf("first delivery = %q, want the low-latency message", first.Payload)
+	}
+	second, ok := recv(t, b, 2*time.Second)
+	if !ok || second.Payload.(string) != "slow" {
+		t.Fatalf("second delivery = %+v, want the delayed message", second)
+	}
+}
+
+// TestGossipSameDelayFIFOish: with zero latency configured, every
+// message still arrives exactly once per receiver and sender identity
+// is preserved — the broadcast fan-out loses and duplicates nothing.
+func TestGossipSameDelayCompleteness(t *testing.T) {
+	net := NewNetwork(Config{Seed: 10})
+	defer net.Close()
+	a, _ := net.Join("A")
+	b, _ := net.Join("B")
+	c, _ := net.Join("C")
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.Broadcast(KindTx, i, 10)
+	}
+	for _, nd := range []*Node{b, c} {
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			m, ok := recv(t, nd, time.Second)
+			if !ok {
+				t.Fatalf("%s saw %d of %d messages", nd.ID, len(seen), n)
+			}
+			if m.From != "A" || m.Kind != KindTx {
+				t.Fatalf("message = %+v", m)
+			}
+			idx := m.Payload.(int)
+			if seen[idx] {
+				t.Fatalf("%s saw message %d twice", nd.ID, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if delivered, dropped, _ := net.Stats(); delivered != 2*n || dropped != 0 {
+		t.Fatalf("delivered=%d dropped=%d, want %d/0", delivered, dropped, 2*n)
+	}
+}
+
+// TestSendUnknownNode: sends to absent ids fail loudly with the
+// sentinel error.
+func TestSendUnknownNode(t *testing.T) {
+	net := NewNetwork(Config{Seed: 3})
+	defer net.Close()
+	a, _ := net.Join("A")
+	if err := a.Send("ghost", KindTx, nil, 0); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+// TestMessageKindStrings covers the full kind vocabulary.
+func TestMessageKindStrings(t *testing.T) {
+	for kind, want := range map[MessageKind]string{
+		KindTx:           "tx",
+		KindBlock:        "block",
+		KindBlockRequest: "block-request",
+		MessageKind(99):  "MessageKind(99)",
+	} {
+		if got := kind.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}

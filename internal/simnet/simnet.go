@@ -13,71 +13,38 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
-	"time"
+	"math"
+	"sort"
 
 	"waitornot/internal/core"
 	"waitornot/internal/par"
+	"waitornot/internal/vclock"
 	"waitornot/internal/xrand"
 )
 
-// event is one scheduled callback.
-type event struct {
-	at  float64 // ms
-	seq int     // tie-break for determinism
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *event  { return h[0] }
-
-var _ heap.Interface = (*eventHeap)(nil)
-
-// Sim is a virtual clock with an event queue.
+// Sim is a virtual clock with an event queue — a thin façade over the
+// shared vclock engine (every Sim event is "peerless", so ordering is
+// (time, scheduling order), exactly the historical rule).
 type Sim struct {
-	now float64
-	pq  eventHeap
-	seq int
+	c *vclock.Clock
 }
 
 // NewSim returns a simulator at time zero.
-func NewSim() *Sim { return &Sim{} }
+func NewSim() *Sim { return &Sim{c: vclock.New()} }
 
 // Now returns the current virtual time in ms.
-func (s *Sim) Now() float64 { return s.now }
+func (s *Sim) Now() float64 { return s.c.Now() }
 
 // After schedules fn delay ms from now. Negative delays run "now".
 func (s *Sim) After(delay float64, fn func()) {
-	if delay < 0 {
-		delay = 0
-	}
-	s.seq++
-	heap.Push(&s.pq, &event{at: s.now + delay, seq: s.seq, fn: fn})
+	s.c.After(delay, vclock.Global, func() error { fn(); return nil })
 }
 
 // Run processes events until the queue empties or the clock passes
 // until (ms). Events scheduled at exactly until still run.
 func (s *Sim) Run(until float64) {
-	for s.pq.Len() > 0 {
-		if s.pq.Peek().at > until {
-			return
-		}
-		e := heap.Pop(&s.pq).(*event)
-		s.now = e.at
-		e.fn()
-	}
+	_ = s.c.RunUntil(until) // callbacks never error
 }
 
 // ThroughputConfig parameterizes the shared-host blockchain model.
@@ -279,44 +246,28 @@ func SimulateRounds(cfg RoundConfig, policy core.WaitPolicy) RoundStats {
 			}
 		}
 		// Visibility at the observer: own model at completion; others
-		// at the first block boundary after completion + network.
-		visible := make([]float64, cfg.Peers)
-		for i := range visible {
-			if i == 0 {
-				visible[i] = complete[i]
-				continue
+		// at the first block boundary after completion + network. The
+		// firing rule itself is shared with the experiment runner
+		// (core.FirePolicy), so both face identical wait semantics.
+		arrivals := make([]core.Arrival, cfg.Peers)
+		for i := range arrivals {
+			at := complete[i]
+			if i != 0 {
+				at = CommitVisibilityMs(complete[i]+cfg.NetworkMs, cfg.BlockIntervalMs)
 			}
-			visible[i] = CommitVisibilityMs(complete[i]+cfg.NetworkMs, cfg.BlockIntervalMs)
+			arrivals[i] = core.Arrival{AtMs: at, Index: i, Self: i == 0}
 		}
-		// Walk visibility order; fire when the policy says so (but not
-		// before our own model exists).
-		order := sortedIdx(visible)
-		included := 0
-		fired := false
-		var fireAt float64
-		haveSelf := false
-		for _, idx := range order {
-			included++
-			if idx == 0 {
-				haveSelf = true
+		sort.SliceStable(arrivals, func(i, j int) bool {
+			if arrivals[i].AtMs != arrivals[j].AtMs {
+				return arrivals[i].AtMs < arrivals[j].AtMs
 			}
-			if !haveSelf {
-				continue
-			}
-			if policy.Ready(included, cfg.Peers, time.Duration(visible[idx]*float64(time.Millisecond))) {
-				fireAt = visible[idx]
-				fired = true
-				break
-			}
-		}
-		if !fired {
-			included = cfg.Peers
-			fireAt = visible[order[cfg.Peers-1]]
-		}
+			return arrivals[i].Index < arrivals[j].Index
+		})
+		included, fireAt := core.FirePolicy(policy, arrivals, cfg.Peers)
 		waitSum += fireAt
 		includedSum += float64(included)
-		for _, idx := range order[:included] {
-			ageSum += fireAt - complete[idx]
+		for _, a := range arrivals[:included] {
+			ageSum += fireAt - complete[a.Index]
 			ageCount++
 		}
 	}
@@ -345,16 +296,78 @@ func CommitVisibilityMs(submittedMs, intervalMs float64) float64 {
 	return float64(k) * intervalMs
 }
 
-// sortedIdx returns indices of v in ascending value order (stable).
-func sortedIdx(v []float64) []int {
-	idx := make([]int, len(v))
-	for i := range idx {
-		idx[i] = i
+// DistKind selects a duration distribution family.
+type DistKind int
+
+// The distribution families heterogeneous sweeps draw from.
+const (
+	// DistFixed always returns Mean (the zero value: no jitter).
+	DistFixed DistKind = iota
+	// DistUniform draws Mean * (1 ± Jitter), uniform.
+	DistUniform
+	// DistLogNormal draws Mean * exp(Jitter·Z − Jitter²/2) — right-
+	// skewed with mean Mean: occasional heavy stragglers, the empirical
+	// shape of shared-infrastructure compute.
+	DistLogNormal
+	// DistExponential draws Exp(Mean) (Jitter ignored) — memoryless
+	// network-style delays.
+	DistExponential
+)
+
+// Dist is a deterministic positive-duration (or multiplier)
+// distribution: heterogeneous compute and network draws for the
+// virtual-time engine, seeded per peer through xrand streams.
+type Dist struct {
+	Kind DistKind
+	// Mean is the central value (a multiplier for compute draws, ms for
+	// network draws).
+	Mean float64
+	// Jitter is the relative spread (DistUniform needs Jitter <= 1 to
+	// stay positive).
+	Jitter float64
+}
+
+// IsZero reports whether the distribution is unset.
+func (d Dist) IsZero() bool { return d == Dist{} }
+
+// Validate rejects distributions that could draw non-positive
+// durations or that name no family.
+func (d Dist) Validate() error {
+	if d.IsZero() {
+		return nil
 	}
-	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && (v[idx[j]] < v[idx[j-1]] || (v[idx[j]] == v[idx[j-1]] && idx[j] < idx[j-1])); j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
+	if d.Mean <= 0 {
+		return fmt.Errorf("simnet: distribution mean %g must be positive", d.Mean)
+	}
+	if d.Jitter < 0 {
+		return fmt.Errorf("simnet: distribution jitter %g must be non-negative", d.Jitter)
+	}
+	switch d.Kind {
+	case DistFixed, DistLogNormal, DistExponential:
+	case DistUniform:
+		if d.Jitter > 1 {
+			return fmt.Errorf("simnet: uniform jitter %g > 1 could draw negative durations", d.Jitter)
 		}
+	default:
+		return fmt.Errorf("simnet: unknown distribution kind %d", int(d.Kind))
 	}
-	return idx
+	return nil
+}
+
+// Draw samples one positive value. A zero Dist draws 1 (the neutral
+// multiplier), so unset distributions cost callers no branch.
+func (d Dist) Draw(rng *xrand.RNG) float64 {
+	if d.IsZero() {
+		return 1
+	}
+	switch d.Kind {
+	case DistUniform:
+		return d.Mean * (1 + d.Jitter*(2*rng.Float64()-1))
+	case DistLogNormal:
+		return d.Mean * math.Exp(d.Jitter*rng.NormFloat64()-d.Jitter*d.Jitter/2)
+	case DistExponential:
+		return d.Mean * rng.ExpFloat64()
+	default: // DistFixed
+		return d.Mean
+	}
 }

@@ -2,11 +2,11 @@ package simnet
 
 import (
 	"math"
-	"sort"
 	"testing"
 	"time"
 
 	"waitornot/internal/core"
+	"waitornot/internal/xrand"
 )
 
 func TestSimRunsEventsInOrder(t *testing.T) {
@@ -196,19 +196,49 @@ func TestSimulateRoundsDeterministic(t *testing.T) {
 	}
 }
 
-func TestSortedIdx(t *testing.T) {
-	v := []float64{3, 1, 2, 1}
-	idx := sortedIdx(v)
-	vals := make([]float64, len(idx))
-	for i, j := range idx {
-		vals[i] = v[j]
+func TestDistDraws(t *testing.T) {
+	rng := xrand.New(11).Derive("dist")
+	if got := (Dist{}).Draw(rng); got != 1 {
+		t.Fatalf("zero Dist drew %g, want the neutral multiplier 1", got)
 	}
-	if !sort.Float64sAreSorted(vals) {
-		t.Fatalf("not sorted: %v", vals)
+	if got := (Dist{Kind: DistFixed, Mean: 2.5}).Draw(rng); got != 2.5 {
+		t.Fatalf("fixed Dist drew %g, want 2.5", got)
 	}
-	// Equal values keep index order.
-	if idx[0] != 1 || idx[1] != 3 {
-		t.Fatalf("stable tie-break violated: %v", idx)
+	for _, d := range []Dist{
+		{Kind: DistUniform, Mean: 10, Jitter: 0.5},
+		{Kind: DistLogNormal, Mean: 1, Jitter: 0.8},
+		{Kind: DistExponential, Mean: 40},
+	} {
+		var sum float64
+		for i := 0; i < 4000; i++ {
+			v := d.Draw(rng)
+			if v <= 0 || math.IsNaN(v) {
+				t.Fatalf("%+v drew non-positive %g", d, v)
+			}
+			sum += v
+		}
+		if mean := sum / 4000; mean < d.Mean*0.8 || mean > d.Mean*1.2 {
+			t.Fatalf("%+v empirical mean %g strays from %g", d, mean, d.Mean)
+		}
+	}
+}
+
+func TestDistValidate(t *testing.T) {
+	for _, bad := range []Dist{
+		{Kind: DistUniform, Mean: -1},
+		{Kind: DistUniform, Mean: 1, Jitter: 1.5},
+		{Kind: DistKind(99), Mean: 1},
+		{Kind: DistLogNormal, Mean: 1, Jitter: -0.1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v validated, want error", bad)
+		}
+	}
+	if err := (Dist{}).Validate(); err != nil {
+		t.Fatalf("zero Dist must validate: %v", err)
+	}
+	if err := (Dist{Kind: DistLogNormal, Mean: 1, Jitter: 0.5}).Validate(); err != nil {
+		t.Fatalf("lognormal must validate: %v", err)
 	}
 }
 

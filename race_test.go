@@ -8,6 +8,7 @@ package waitornot_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"waitornot"
@@ -195,4 +196,41 @@ func TestRaceSmokeConsensusLadder(t *testing.T) {
 	if len(res.Tradeoff.Outcomes) != 6 {
 		t.Fatalf("outcomes = %d, want 6", len(res.Tradeoff.Outcomes))
 	}
+}
+
+// TestRaceSmokeAsync runs the asynchronous engine alongside itself:
+// the event loop is single-threaded by design, but the race detector
+// still patrols the ledger reads, the observer sink, and the shared
+// scenario/backend registries it leans on.
+func TestRaceSmokeAsync(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         3,
+		Rounds:          2,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		StragglerFactor: []float64{1, 1, 3},
+		CommitLatency:   true,
+		Policy:          waitornot.Policy{Kind: waitornot.FirstK, K: 2},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := waitornot.New(opts, waitornot.WithAsync(),
+				waitornot.WithObserverFunc(func(waitornot.Event) {})).Run(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Async == nil {
+				t.Error("no async report")
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -195,17 +195,58 @@ func runDecentralizedExperiment(ctx context.Context, opts Options, sink event.Si
 // the per-replication samples of RunSweep are both this reduction.
 func (r *DecentralizedReport) Headline() (finalAccuracy, meanWaitMs, meanIncluded float64) {
 	var acc, wait, included float64
-	var waitN int
+	var accN, waitN int
 	for peer := range r.Rounds {
 		rounds := r.Rounds[peer]
+		if len(rounds) == 0 {
+			continue
+		}
 		acc += rounds[len(rounds)-1].ChosenAccuracy
+		accN++
 		for _, ri := range rounds {
 			wait += ri.WaitMs
 			included += float64(ri.Included)
 			waitN++
 		}
 	}
-	return acc / float64(len(r.Rounds)), wait / float64(waitN), included / float64(waitN)
+	// Degenerate reports (no peers, no rounds) reduce to zeros, never
+	// NaN: downstream tables and sweep cells must stay renderable.
+	if accN > 0 {
+		finalAccuracy = acc / float64(accN)
+	}
+	if waitN > 0 {
+		meanWaitMs = wait / float64(waitN)
+		meanIncluded = included / float64(waitN)
+	}
+	return finalAccuracy, meanWaitMs, meanIncluded
+}
+
+// TimeToAccuracyMs returns the cumulative virtual time at which the
+// fleet's mean adopted accuracy first reaches target, or -1 if it
+// never does. Rounds are barriered, so each costs the slowest peer's
+// wait: the cumulative clock after round r is the sum of the per-round
+// maxima — the synchronous counterpart of AsyncReport.TimeToAccuracyMs
+// and the speed axis time-to-target sweeps compare policies on.
+func (r *DecentralizedReport) TimeToAccuracyMs(target float64) float64 {
+	if len(r.Rounds) == 0 {
+		return -1
+	}
+	rounds := len(r.Rounds[0])
+	var cum float64
+	for ri := 0; ri < rounds; ri++ {
+		var acc, maxWait float64
+		for p := range r.Rounds {
+			acc += r.Rounds[p][ri].ChosenAccuracy
+			if w := r.Rounds[p][ri].WaitMs; w > maxWait {
+				maxWait = w
+			}
+		}
+		cum += maxWait
+		if acc/float64(len(r.Rounds)) >= target {
+			return cum
+		}
+	}
+	return -1
 }
 
 // PeerTable renders one peer's combination table (the paper's Table II,

@@ -1,0 +1,135 @@
+// Report-layer edge cases: Headline and the CSV/table renderers must
+// stay NaN-free and well-formed on degenerate inputs — empty reports,
+// empty cells, unreached targets — because sweep cells and CLI tables
+// render whatever the engines hand them.
+package waitornot_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"waitornot"
+)
+
+func mkRound(round, included int, wait, acc float64) waitornot.RoundInfo {
+	return waitornot.RoundInfo{Round: round, Included: included, WaitMs: wait, ChosenAccuracy: acc}
+}
+
+// TestHeadlineEmptyReport: a report with no peers (or peers with no
+// rounds) reduces to zeros, never NaN.
+func TestHeadlineEmptyReport(t *testing.T) {
+	for _, rep := range []*waitornot.DecentralizedReport{
+		{},
+		{PeerNames: []string{"A"}, Rounds: [][]waitornot.RoundInfo{{}}},
+	} {
+		acc, wait, included := rep.Headline()
+		for _, v := range []float64{acc, wait, included} {
+			if math.IsNaN(v) || v != 0 {
+				t.Fatalf("degenerate headline = %g %g %g, want zeros", acc, wait, included)
+			}
+		}
+	}
+}
+
+// TestHeadlineSkipsEmptyPeers: a peer without rounds is excluded from
+// the means instead of dragging them to NaN.
+func TestHeadlineSkipsEmptyPeers(t *testing.T) {
+	rep := &waitornot.DecentralizedReport{
+		PeerNames: []string{"A", "B"},
+		Rounds: [][]waitornot.RoundInfo{
+			{mkRound(1, 3, 100, 0.8)},
+			{},
+		},
+	}
+	acc, wait, included := rep.Headline()
+	if acc != 0.8 || wait != 100 || included != 3 {
+		t.Fatalf("headline = %g %g %g, want 0.8 100 3", acc, wait, included)
+	}
+}
+
+// TestTimeToAccuracyCumulative: the synchronous time-to-target clock
+// accumulates the slowest peer's wait per round and stops at the first
+// qualifying round.
+func TestTimeToAccuracyCumulative(t *testing.T) {
+	rep := &waitornot.DecentralizedReport{
+		PeerNames: []string{"A", "B"},
+		Rounds: [][]waitornot.RoundInfo{
+			{mkRound(1, 2, 100, 0.2), mkRound(2, 2, 150, 0.6)},
+			{mkRound(1, 2, 300, 0.4), mkRound(2, 2, 50, 0.8)},
+		},
+	}
+	// Round 1: mean acc 0.3, cumulative max wait 300.
+	// Round 2: mean acc 0.7, cumulative 300 + 150 = 450.
+	if got := rep.TimeToAccuracyMs(0.3); got != 300 {
+		t.Fatalf("time to 0.3 = %g, want 300", got)
+	}
+	if got := rep.TimeToAccuracyMs(0.7); got != 450 {
+		t.Fatalf("time to 0.7 = %g, want 450", got)
+	}
+	if got := rep.TimeToAccuracyMs(0.9); got != -1 {
+		t.Fatalf("unreached target = %g, want -1", got)
+	}
+	if got := (&waitornot.DecentralizedReport{}).TimeToAccuracyMs(0.1); got != -1 {
+		t.Fatalf("empty report time-to-acc = %g, want -1", got)
+	}
+}
+
+// TestVanillaCSVWellFormed: the CSV renderer emits a header plus one
+// row per client × mode × round, and an empty report renders to just
+// the header without panicking.
+func TestVanillaCSVWellFormed(t *testing.T) {
+	rep := &waitornot.VanillaReport{
+		ClientNames: []string{"A", "B"},
+		Consider:    [][]float64{{0.5, 0.6}, {0.4, 0.7}},
+		NotConsider: [][]float64{{0.3, 0.2}, {0.1, 0.9}},
+	}
+	lines := strings.Split(strings.TrimSpace(rep.CSV()), "\n")
+	if len(lines) != 1+2*2*2 {
+		t.Fatalf("CSV has %d lines, want 9:\n%s", len(lines), rep.CSV())
+	}
+	for _, line := range lines {
+		if strings.Contains(line, "NaN") {
+			t.Fatalf("CSV rendered NaN: %s", line)
+		}
+		if got := strings.Count(line, ","); got != 3 {
+			t.Fatalf("CSV row has %d commas, want 3: %s", got, line)
+		}
+	}
+	empty := &waitornot.VanillaReport{}
+	if got := strings.TrimSpace(empty.CSV()); got != "client,mode,round,accuracy" {
+		t.Fatalf("empty CSV = %q", got)
+	}
+}
+
+// TestPeerTableOutOfRange: asking for a peer the report does not have
+// degrades to an empty string rather than panicking.
+func TestPeerTableOutOfRange(t *testing.T) {
+	rep := &waitornot.DecentralizedReport{PeerNames: []string{"A"}}
+	if got := rep.PeerTable(-1, "SimpleNN"); got != "" {
+		t.Fatalf("PeerTable(-1) = %q", got)
+	}
+	if got := rep.PeerTable(5, "SimpleNN"); got != "" {
+		t.Fatalf("PeerTable(5) = %q", got)
+	}
+}
+
+// TestAsyncHeadlineDegenerate: an async report whose peers never
+// aggregated falls back to the initial accuracies, NaN-free.
+func TestAsyncHeadlineDegenerate(t *testing.T) {
+	rep := &waitornot.AsyncReport{
+		PeerNames:       []string{"A", "B"},
+		InitialAccuracy: []float64{0.1, 0.3},
+		Rounds:          [][]waitornot.AsyncRoundInfo{{}, {}},
+	}
+	acc, wait, included := rep.Headline()
+	if math.Abs(acc-0.2) > 1e-12 || wait != 0 || included != 0 {
+		t.Fatalf("degenerate async headline = %g %g %g, want 0.2 0 0", acc, wait, included)
+	}
+	if got := rep.TimeToAccuracyMs(0.15); got != 0 {
+		t.Fatalf("time to 0.15 = %g, want 0 (mean initial 0.2 already qualifies)", got)
+	}
+	if got := rep.TimeToAccuracyMs(0.25); got != -1 {
+		t.Fatalf("time to 0.25 = %g, want -1", got)
+	}
+}

@@ -63,7 +63,7 @@ func RegisterScenario(s Scenario) error {
 		return fmt.Errorf("waitornot: scenario needs a name")
 	}
 	switch s.Kind {
-	case KindVanilla, KindDecentralized, KindTradeoff:
+	case KindVanilla, KindDecentralized, KindTradeoff, KindAsync:
 	default:
 		return fmt.Errorf("waitornot: scenario %q: unknown kind %v", s.Name, s.Kind)
 	}
@@ -196,6 +196,31 @@ func init() {
 		},
 		Policies: DefaultPolicies(3),
 		Backends: []string{"pow", "poa", "instant"},
+	})
+	MustRegisterScenario(Scenario{
+		Name: "async-free-run",
+		Description: "true async aggregation on the shared virtual clock: no global barrier, " +
+			"first-2 firing, staleness-weighted merging, accuracy vs virtual time",
+		Kind: KindAsync,
+		Options: Options{
+			Policy:          Policy{Kind: FirstK, K: 2},
+			StragglerFactor: []float64{1, 1, 3},
+			CommitLatency:   true,
+			SkipComboTables: true,
+		},
+	})
+	MustRegisterScenario(Scenario{
+		Name: "hetero-compute",
+		Description: "heterogeneous fleet, async: lognormal compute stragglers and uniform " +
+			"network jitter drawn per round on the virtual clock",
+		Kind: KindAsync,
+		Options: Options{
+			Policy:          Policy{Kind: KOrTimeout, K: 2, TimeoutMs: 1500},
+			ComputeDist:     Dist{Kind: DistLogNormal, Mean: 1, Jitter: 0.6},
+			NetworkDist:     Dist{Kind: DistUniform, Mean: 40, Jitter: 0.75},
+			CommitLatency:   true,
+			SkipComboTables: true,
+		},
 	})
 	MustRegisterScenario(Scenario{
 		Name:        "async-ladder",

@@ -18,6 +18,8 @@ func TestBuiltinScenarioLibrary(t *testing.T) {
 		"stragglers":       KindTradeoff,
 		"async-ladder":     KindTradeoff,
 		"consensus-ladder": KindTradeoff,
+		"async-free-run":   KindAsync,
+		"hetero-compute":   KindAsync,
 
 		"replicated-tradeoff": KindTradeoff, // declares Seeds (a sweep)
 	}

@@ -23,6 +23,13 @@ type SweepOptions struct {
 	// Replications, when Seeds is empty, expands to the seed list
 	// {Options.Seed, Options.Seed+1, ..., Options.Seed+Replications-1}.
 	Replications int
+	// TargetAccuracy, when positive, adds time-to-target-accuracy as a
+	// sweep metric: every replication also reports the virtual time at
+	// which the fleet's mean accuracy first reached this target, and
+	// cells summarize it as mean ± CI over the replications that got
+	// there. 0 keeps the classic three-metric sweep (and its exact
+	// report bytes).
+	TargetAccuracy float64
 }
 
 // seedList resolves the effective seed list, validating it.
@@ -89,6 +96,10 @@ type SweepRun struct {
 	FinalAccuracy float64 `json:"final_accuracy"`
 	MeanWaitMs    float64 `json:"mean_wait_ms"`
 	MeanIncluded  float64 `json:"mean_included"`
+	// TimeToAccMs is the virtual time at which the run's mean accuracy
+	// first reached SweepOptions.TargetAccuracy: -1 when the run never
+	// got there, nil when no target was set.
+	TimeToAccMs *float64 `json:"time_to_acc_ms,omitempty"`
 }
 
 // SweepCell aggregates one policy × backend cell over every seed.
@@ -99,6 +110,10 @@ type SweepCell struct {
 	Accuracy Summary `json:"accuracy"`
 	WaitMs   Summary `json:"wait_ms"`
 	Included Summary `json:"included"`
+	// TimeToAcc summarizes time-to-target-accuracy over the
+	// replications that reached the target (its N is how many did).
+	// Nil when no target was set.
+	TimeToAcc *Summary `json:"time_to_acc,omitempty"`
 }
 
 // SweepReport is a replication sweep's output: the raw per-replication
@@ -107,11 +122,14 @@ type SweepCell struct {
 // distributions (backend-major × policy order, matching
 // TradeoffReport.Outcomes).
 type SweepReport struct {
-	Model    Model       `json:"model"`
-	Scenario string      `json:"scenario,omitempty"`
-	Seeds    []uint64    `json:"seeds"`
-	Runs     []SweepRun  `json:"runs"`
-	Cells    []SweepCell `json:"cells"`
+	Model    Model    `json:"model"`
+	Scenario string   `json:"scenario,omitempty"`
+	Seeds    []uint64 `json:"seeds"`
+	// TargetAccuracy echoes SweepOptions.TargetAccuracy when the sweep
+	// tracked time-to-target.
+	TargetAccuracy float64     `json:"target_accuracy,omitempty"`
+	Runs           []SweepRun  `json:"runs"`
+	Cells          []SweepCell `json:"cells"`
 }
 
 // RunSweep executes the experiment once per seed × policy × backend
@@ -146,12 +164,18 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t := e.sweep.TargetAccuracy; t < 0 || t > 1 {
+		return nil, fmt.Errorf("waitornot: target accuracy %g outside [0, 1]", t)
+	}
 	var (
 		policies []Policy
 		backends []string
 	)
 	switch e.kind {
-	case KindTradeoff:
+	case KindTradeoff, KindAsync:
+		// KindAsync sweeps the same policy × backend ladder, with each
+		// cell an un-barriered run — the "async ladder" the virtual
+		// clock unlocks.
 		policies = e.policies
 		if policies == nil {
 			n := e.opts.Clients
@@ -173,7 +197,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 		policies = []Policy{e.opts.Policy}
 		backends = []string{e.opts.Backend}
 	default:
-		return nil, fmt.Errorf("waitornot: %v experiments cannot be swept (no wait/latency metrics); use KindTradeoff or KindDecentralized", e.kind)
+		return nil, fmt.Errorf("waitornot: %v experiments cannot be swept (no wait/latency metrics); use KindTradeoff, KindAsync, or KindDecentralized", e.kind)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -190,6 +214,8 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 		opts.Parallelism = 1
 	}
 
+	target := e.sweep.TargetAccuracy
+	kind := e.kind
 	emit := newOrderedEmitter(observerSink(e.observer))
 	runs, err := par.MapCtx(ctx, workers, total, func(i int) (SweepRun, error) {
 		seed := seeds[i/cells]
@@ -199,11 +225,29 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 		o.Seed = seed
 		o.Backend = b
 		o.Policy = p
-		rep, err := runDecentralizedExperiment(ctx, o, nil)
+		// Both report types expose the same headline reduction; only
+		// the runner differs per kind.
+		var (
+			rep interface {
+				Headline() (float64, float64, float64)
+				TimeToAccuracyMs(float64) float64
+			}
+			err error
+		)
+		if kind == KindAsync {
+			rep, err = runAsyncExperiment(ctx, o, nil)
+		} else {
+			rep, err = runDecentralizedExperiment(ctx, o, nil)
+		}
 		if err != nil {
 			return SweepRun{}, fmt.Errorf("seed %d policy %s backend %q: %w", seed, p.Name(), b, err)
 		}
 		acc, wait, included := rep.Headline()
+		var tta *float64
+		if target > 0 {
+			v := rep.TimeToAccuracyMs(target)
+			tta = &v
+		}
 		run := SweepRun{
 			Seed:          seed,
 			Policy:        p.Name(),
@@ -211,6 +255,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			FinalAccuracy: acc,
 			MeanWaitMs:    wait,
 			MeanIncluded:  included,
+			TimeToAccMs:   tta,
 		}
 		emit.emit(i, event.SweepProgress{
 			Index:         i,
@@ -236,8 +281,14 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 		grid.Observe(r.Policy, r.Backend, "accuracy", r.FinalAccuracy)
 		grid.Observe(r.Policy, r.Backend, "wait_ms", r.MeanWaitMs)
 		grid.Observe(r.Policy, r.Backend, "included", r.MeanIncluded)
+		// Time-to-target accumulates only over replications that
+		// reached the target: "never" is reported by the cell's N,
+		// not by poisoning the mean with sentinels.
+		if r.TimeToAccMs != nil && *r.TimeToAccMs >= 0 {
+			grid.Observe(r.Policy, r.Backend, "tta_ms", *r.TimeToAccMs)
+		}
 	}
-	rep := &SweepReport{Model: opts.Model, Scenario: e.scenario, Seeds: seeds, Runs: runs}
+	rep := &SweepReport{Model: opts.Model, Scenario: e.scenario, Seeds: seeds, TargetAccuracy: target, Runs: runs}
 	for _, b := range backends {
 		for _, p := range policies {
 			cell := SweepCell{Policy: p.Name(), Backend: b}
@@ -249,6 +300,13 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			}
 			if w, ok := grid.Cell(cell.Policy, b, "included"); ok {
 				cell.Included = summaryOf(w)
+			}
+			if target > 0 {
+				s := Summary{}
+				if w, ok := grid.Cell(cell.Policy, b, "tta_ms"); ok {
+					s = summaryOf(w)
+				}
+				cell.TimeToAcc = &s
 			}
 			rep.Cells = append(rep.Cells, cell)
 		}
@@ -276,6 +334,9 @@ func (r *SweepReport) Table() string {
 	title := fmt.Sprintf("Wait or not to wait (%s): speed vs precision per wait policy, mean ± 95%% CI over %d seeds",
 		r.Model, len(r.Seeds))
 	header := []string{"policy", "n", "final acc", "mean wait (ms)", "mean models"}
+	if r.TargetAccuracy > 0 {
+		header = append(header, fmt.Sprintf("t to %.0f%% acc (ms)", r.TargetAccuracy*100), "reached")
+	}
 	if withBackends {
 		title = fmt.Sprintf("Wait or not to wait (%s): speed vs precision per backend and wait policy, mean ± 95%% CI over %d seeds",
 			r.Model, len(r.Seeds))
@@ -285,6 +346,16 @@ func (r *SweepReport) Table() string {
 	for _, c := range r.Cells {
 		row := []string{c.Policy, fmt.Sprint(c.Accuracy.N),
 			c.Accuracy.format(4), c.WaitMs.format(1), c.Included.format(2)}
+		if r.TargetAccuracy > 0 {
+			tta, reached := "n/a", "0"
+			if c.TimeToAcc != nil && c.TimeToAcc.N > 0 {
+				tta = c.TimeToAcc.format(1)
+				reached = fmt.Sprintf("%d/%d", c.TimeToAcc.N, c.Accuracy.N)
+			} else if c.Accuracy.N > 0 {
+				reached = fmt.Sprintf("0/%d", c.Accuracy.N)
+			}
+			row = append(row, tta, reached)
+		}
 		if withBackends {
 			row = append([]string{c.Backend}, row...)
 		}
@@ -305,6 +376,9 @@ func (r *SweepReport) CSV() string {
 	for _, m := range []string{"acc", "wait_ms", "included"} {
 		header = append(header, m+"_mean", m+"_std", m+"_min", m+"_max", m+"_ci95")
 	}
+	if r.TargetAccuracy > 0 {
+		header = append(header, "tta_ms_n", "tta_ms_mean", "tta_ms_std", "tta_ms_min", "tta_ms_max", "tta_ms_ci95")
+	}
 	tab := metrics.NewTable("", header...)
 	f := func(v float64) string { return fmt.Sprintf("%g", v) }
 	for _, c := range r.Cells {
@@ -315,6 +389,13 @@ func (r *SweepReport) CSV() string {
 		for _, s := range []Summary{c.Accuracy, c.WaitMs, c.Included} {
 			row = append(row, f(s.Mean), f(s.Std), f(s.Min), f(s.Max), f(s.CI95))
 		}
+		if r.TargetAccuracy > 0 {
+			s := Summary{}
+			if c.TimeToAcc != nil {
+				s = *c.TimeToAcc
+			}
+			row = append(row, fmt.Sprint(s.N), f(s.Mean), f(s.Std), f(s.Min), f(s.Max), f(s.CI95))
+		}
 		tab.Add(row...)
 	}
 	return tab.CSV()
@@ -324,10 +405,22 @@ func (r *SweepReport) CSV() string {
 // flat work-list order — for plotting distributions rather than
 // summaries.
 func (r *SweepReport) RunsCSV() string {
-	tab := metrics.NewTable("", "seed", "backend", "policy", "final_accuracy", "mean_wait_ms", "mean_included")
+	header := []string{"seed", "backend", "policy", "final_accuracy", "mean_wait_ms", "mean_included"}
+	if r.TargetAccuracy > 0 {
+		header = append(header, "time_to_acc_ms")
+	}
+	tab := metrics.NewTable("", header...)
 	for _, run := range r.Runs {
-		tab.Add(fmt.Sprint(run.Seed), run.Backend, run.Policy,
-			fmt.Sprintf("%g", run.FinalAccuracy), fmt.Sprintf("%g", run.MeanWaitMs), fmt.Sprintf("%g", run.MeanIncluded))
+		row := []string{fmt.Sprint(run.Seed), run.Backend, run.Policy,
+			fmt.Sprintf("%g", run.FinalAccuracy), fmt.Sprintf("%g", run.MeanWaitMs), fmt.Sprintf("%g", run.MeanIncluded)}
+		if r.TargetAccuracy > 0 {
+			cell := ""
+			if run.TimeToAccMs != nil {
+				cell = fmt.Sprintf("%g", *run.TimeToAccMs)
+			}
+			row = append(row, cell)
+		}
+		tab.Add(row...)
 	}
 	return tab.CSV()
 }

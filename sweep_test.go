@@ -266,3 +266,91 @@ func TestReplicatedScenarioSweeps(t *testing.T) {
 		t.Fatalf("cells = %d, want one per policy = %d", len(rep.Cells), len(sc.Policies))
 	}
 }
+
+// TestSweepTargetAccuracy: WithTargetAccuracy adds time-to-target as
+// a fourth cell metric — runs carry their time-to-accuracy, cells
+// summarize only the replications that reached the target, and the
+// table/CSVs grow the opt-in columns — while leaving the classic
+// no-target sweep's output bytes untouched (TestSweepReportGolden).
+func TestSweepTargetAccuracy(t *testing.T) {
+	rep := runGoldenSweep(t, 0, waitornot.WithTargetAccuracy(0.05))
+	if rep.TargetAccuracy != 0.05 {
+		t.Fatalf("report target = %g", rep.TargetAccuracy)
+	}
+	for _, run := range rep.Runs {
+		if run.TimeToAccMs == nil {
+			t.Fatalf("run %+v missing time-to-acc", run)
+		}
+		if *run.TimeToAccMs == 0 || *run.TimeToAccMs < -1 {
+			t.Fatalf("run time-to-acc = %g, want -1 or positive", *run.TimeToAccMs)
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.TimeToAcc == nil {
+			t.Fatalf("cell %+v missing time-to-acc summary", c)
+		}
+		if c.TimeToAcc.N > c.Accuracy.N {
+			t.Fatalf("cell reached %d of %d replications", c.TimeToAcc.N, c.Accuracy.N)
+		}
+		if !strings.Contains(c.Accuracy.String(), " ± ") {
+			t.Fatalf("summary renders %q, want mean ± ci", c.Accuracy.String())
+		}
+	}
+	if !strings.Contains(rep.Table(), "t to 5% acc (ms)") || !strings.Contains(rep.Table(), "reached") {
+		t.Fatalf("table missing time-to-acc columns:\n%s", rep.Table())
+	}
+	if !strings.Contains(rep.CSV(), "tta_ms_mean") || !strings.Contains(rep.RunsCSV(), "time_to_acc_ms") {
+		t.Fatal("CSV exports missing time-to-acc columns")
+	}
+	// An unreachable target keeps every cell renderable: N=0 summaries
+	// render as zeros ("n/a" in the table), never NaN.
+	never := runGoldenSweep(t, 0, waitornot.WithTargetAccuracy(1))
+	if !strings.Contains(never.Table(), "n/a") {
+		t.Fatalf("unreached target must render n/a:\n%s", never.Table())
+	}
+	if strings.Contains(never.Table(), "NaN") || strings.Contains(never.CSV(), "NaN") {
+		t.Fatal("unreached target rendered NaN")
+	}
+	// Out-of-range targets are rejected up front.
+	opts := sweepOpts()
+	if _, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithSeeds(1),
+		waitornot.WithTargetAccuracy(1.5)).RunSweep(context.Background()); err == nil {
+		t.Fatal("accepted target accuracy 1.5")
+	}
+}
+
+// TestSweepAsyncLadder: KindAsync sweeps the policy ladder
+// un-barriered — every cell a deterministic free run — with
+// time-to-target tracked on the virtual clock.
+func TestSweepAsyncLadder(t *testing.T) {
+	opts := sweepOpts()
+	opts.Rounds = 2
+	run := func(parallelism int) *waitornot.SweepReport {
+		o := opts
+		o.Parallelism = parallelism
+		rep, err := waitornot.New(o,
+			waitornot.WithAsync(),
+			waitornot.WithPolicies(sweepPolicies()...),
+			waitornot.WithSeeds(1, 2),
+			waitornot.WithTargetAccuracy(0.05)).RunSweep(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq, par := run(1), run(0)
+	testutil.GoldenEqual(t, "async-sweep", seq, par)
+	if len(seq.Runs) != 4 || len(seq.Cells) != 2 {
+		t.Fatalf("async ladder shape: %d runs, %d cells", len(seq.Runs), len(seq.Cells))
+	}
+	for _, c := range seq.Cells {
+		if c.Accuracy.N != 2 {
+			t.Fatalf("cell %q has %d samples, want 2", c.Policy, c.Accuracy.N)
+		}
+		if c.WaitMs.Mean <= 0 {
+			t.Fatalf("cell %q mean wait %g, want positive virtual wait", c.Policy, c.WaitMs.Mean)
+		}
+	}
+}

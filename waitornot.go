@@ -30,6 +30,7 @@ import (
 	"waitornot/internal/fl"
 	"waitornot/internal/ledger"
 	"waitornot/internal/nn"
+	"waitornot/internal/simnet"
 )
 
 // Model selects one of the paper's two architectures.
@@ -135,6 +136,45 @@ func (p Policy) internal() core.WaitPolicy {
 	}
 }
 
+// DistKind selects a duration-distribution family for heterogeneous
+// compute and network draws.
+type DistKind int
+
+// The distribution families.
+const (
+	// DistFixed always draws the mean (the zero value: no jitter).
+	DistFixed DistKind = iota
+	// DistUniform draws Mean * (1 ± Jitter), uniform.
+	DistUniform
+	// DistLogNormal draws a right-skewed value with mean Mean —
+	// occasional heavy stragglers, the empirical shape of shared
+	// infrastructure.
+	DistLogNormal
+	// DistExponential draws exponentially with mean Mean (memoryless
+	// network-style delays; Jitter is ignored).
+	DistExponential
+)
+
+// Dist describes a positive random draw: per-round compute multipliers
+// (WithComputeDistribution) or extra network delay in ms
+// (WithNetworkDistribution). Draws come from deterministic per-peer
+// xrand streams, so runs stay bit-reproducible.
+type Dist struct {
+	Kind DistKind
+	// Mean is the central value: a multiplier for compute draws
+	// (1 = the calibrated duration), milliseconds for network draws.
+	Mean float64
+	// Jitter is the relative spread (DistUniform needs Jitter <= 1).
+	Jitter float64
+}
+
+func (d Dist) internal() simnet.Dist {
+	return simnet.Dist{Kind: simnet.DistKind(d.Kind), Mean: d.Mean, Jitter: d.Jitter}
+}
+
+// Validate rejects distributions that could draw non-positive values.
+func (d Dist) Validate() error { return d.internal().Validate() }
+
 // Options parameterizes an experiment. The zero value (plus a Model)
 // reproduces the paper's setup: 3 clients, 10 rounds, 5 local epochs,
 // calibrated data sizes.
@@ -202,6 +242,25 @@ type Options struct {
 	// wait policies face realistic block-interval delays. Off by
 	// default, preserving the historical arrival model.
 	CommitLatency bool
+
+	// ComputeDist, when set, draws a per-peer per-round multiplier on
+	// the modeled training duration (heterogeneous compute) from this
+	// distribution. KindAsync only; the barriered kinds keep the fixed
+	// calibrated model.
+	ComputeDist Dist
+	// NetworkDist, when set, draws extra per-submission propagation
+	// delay in ms on top of the base latency + bandwidth model
+	// (network jitter). KindAsync only.
+	NetworkDist Dist
+	// TimeBudgetMs caps a KindAsync run's virtual horizon: peers stop
+	// opening rounds past it, and a peer still waiting there merges
+	// what it has. 0 = no cap (run until every peer finishes Rounds
+	// aggregations).
+	TimeBudgetMs float64
+	// StalenessHalfLifeMs tunes the asynchronous merge: an update's
+	// weight halves per this many ms of age. 0 derives it from the
+	// fleet's mean modeled training duration.
+	StalenessHalfLifeMs float64
 }
 
 // Validate rejects options the engine cannot honour: unknown models,
@@ -220,6 +279,18 @@ func (o Options) Validate() error {
 	}
 	if err := o.Policy.Validate(); err != nil {
 		return err
+	}
+	if err := o.ComputeDist.Validate(); err != nil {
+		return fmt.Errorf("waitornot: compute distribution: %w", err)
+	}
+	if err := o.NetworkDist.Validate(); err != nil {
+		return fmt.Errorf("waitornot: network distribution: %w", err)
+	}
+	if o.TimeBudgetMs < 0 {
+		return fmt.Errorf("waitornot: negative time budget %g ms", o.TimeBudgetMs)
+	}
+	if o.StalenessHalfLifeMs < 0 {
+		return fmt.Errorf("waitornot: negative staleness half-life %g ms", o.StalenessHalfLifeMs)
 	}
 	if o.Backend != "" {
 		if _, ok := ledger.Lookup(o.Backend); !ok {
@@ -314,5 +385,10 @@ func (o Options) decentralized() bfl.Config {
 		Parallelism:     o.Parallelism,
 		Backend:         o.Backend,
 		CommitLatency:   o.CommitLatency,
+
+		Compute:             o.ComputeDist.internal(),
+		Network:             o.NetworkDist.internal(),
+		TimeBudgetMs:        o.TimeBudgetMs,
+		StalenessHalfLifeMs: o.StalenessHalfLifeMs,
 	}
 }
