@@ -16,7 +16,7 @@ BENCH_JSON ?= BENCH_$(shell date +%Y-%m-%d).json
 # The coverage ratchet: cover fails if total statement coverage drops
 # below this. The gating value is recorded in .github/workflows/ci.yml
 # (env on the make step); raise it there as coverage grows.
-COVER_MIN ?= 74.5
+COVER_MIN ?= 75.5
 COVER_OUT ?= cover.out
 
 # Fuzz smoke budget per target (a real campaign runs
@@ -45,10 +45,12 @@ cover:
 	    { echo "coverage ratchet failed: $$total% < $(COVER_MIN)%"; exit 1; }
 
 # Fuzz smoke: a few seconds per fuzz target, enough to catch shallow
-# regressions in the chain codec and mempool on every CI run.
+# regressions in the chain codec, the mempool, and the pbft model
+# verifier on every CI run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzChainCodec -fuzztime $(FUZZTIME) ./internal/chain/
 	$(GO) test -run '^$$' -fuzz FuzzMempoolSubmit -fuzztime $(FUZZTIME) ./internal/chain/
+	$(GO) test -run '^$$' -fuzz FuzzPBFTVerify -fuzztime $(FUZZTIME) ./internal/ledger/
 
 # Race smoke: the internal/par pool itself, plus short parallel runs
 # of the decentralized experiment, the trade-off sweep, and the

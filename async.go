@@ -81,12 +81,13 @@ func runAsyncExperiment(ctx context.Context, opts Options, sink event.Sink) (*As
 		InitialAccuracy: res.InitialAccuracy,
 		HorizonMs:       res.HorizonMs,
 		Chain: ChainSummary{
-			Blocks:      res.Chain.Blocks,
-			Txs:         res.Chain.Txs,
-			GasUsed:     res.Chain.GasUsed,
-			Bytes:       res.Chain.Bytes,
-			Submissions: res.Chain.Submissions,
-			Decisions:   res.Chain.Decisions,
+			Blocks:         res.Chain.Blocks,
+			Txs:            res.Chain.Txs,
+			GasUsed:        res.Chain.GasUsed,
+			Bytes:          res.Chain.Bytes,
+			Submissions:    res.Chain.Submissions,
+			Decisions:      res.Chain.Decisions,
+			VerifyRejected: res.Chain.VerifyRejected,
 		},
 		Rounds: make([][]AsyncRoundInfo, len(res.Rounds)),
 	}

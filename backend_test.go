@@ -50,14 +50,16 @@ func TestPowBackendMatchesLegacyDefault(t *testing.T) {
 // TestBackendsPreserveFLSemantics: with commit-latency modeling off,
 // the consensus substrate must be invisible to learning — identical
 // per-round decisions, accuracies, and combo grids across pow, poa,
-// and instant. Only the ledger footprint may differ.
+// pbft, and instant. Only the ledger footprint may differ. For pbft
+// this additionally pins that model verification never rejects a
+// clean-data submission at this scale.
 func TestBackendsPreserveFLSemantics(t *testing.T) {
 	opts := backendOpts()
 	base, err := waitornot.RunDecentralized(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, backend := range []string{"poa", "instant"} {
+	for _, backend := range []string{"poa", "instant", "pbft"} {
 		o := opts
 		o.Backend = backend
 		rep, err := waitornot.RunDecentralized(o)
@@ -73,6 +75,81 @@ func TestBackendsPreserveFLSemantics(t *testing.T) {
 		if rep.Chain.Submissions != base.Chain.Submissions || rep.Chain.Decisions != base.Chain.Decisions {
 			t.Fatalf("%s: contract call counts diverged: %+v vs %+v", backend, rep.Chain, base.Chain)
 		}
+		if rep.Chain.VerifyRejected != 0 {
+			t.Fatalf("%s: verification rejected %d clean submissions", backend, rep.Chain.VerifyRejected)
+		}
+	}
+}
+
+// TestPBFTVerificationFiltersPoison reuses the poisoning scenario's
+// attacker (client C label-flips its whole shard) at a scale where
+// clean models separate from the poisoned one on the validation set.
+// pbft's model verification must reject the poisoned submission every
+// round — excluding it from every clean peer's on-chain batch — while
+// pow and poa accept it on-ledger; the per-peer combo tables expose
+// the accuracy gap the verifier keys on.
+func TestPBFTVerificationFiltersPoison(t *testing.T) {
+	opts := backendOpts()
+	opts.TrainPerClient = 600
+	opts.SelectionSize = 200
+	opts.LearningRate = 0.05
+	opts.PoisonClient = 2
+	opts.PoisonFraction = 1
+
+	reports := map[string]*waitornot.DecentralizedReport{}
+	for _, backend := range []string{"pow", "poa", "pbft"} {
+		o := opts
+		o.Backend = backend
+		rep, err := waitornot.RunDecentralized(o)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		reports[backend] = rep
+	}
+
+	// pow and poa accept the poisoned submission on-ledger; pbft
+	// rejects it in every round's submission block.
+	for _, backend := range []string{"pow", "poa"} {
+		if n := reports[backend].Chain.VerifyRejected; n != 0 {
+			t.Fatalf("%s rejected %d submissions; it has no model verification", backend, n)
+		}
+	}
+	pbft := reports["pbft"]
+	if pbft.Chain.VerifyRejected != opts.Rounds {
+		t.Fatalf("pbft rejected %d submissions, want the poisoned one each of %d rounds",
+			pbft.Chain.VerifyRejected, opts.Rounds)
+	}
+
+	// The rejection is visible in the batches: clean peers aggregate
+	// without the poisoned update under pbft (their own + one clean
+	// remote), with it under pow. The poisoned peer always keeps its
+	// own local update, so its batch stays full.
+	pow := reports["pow"]
+	for p := 0; p < 2; p++ {
+		for r := range pbft.Rounds[p] {
+			if got, want := pow.Rounds[p][r].Included, opts.Clients; got != want {
+				t.Fatalf("pow peer %d round %d included %d updates, want %d", p, r+1, got, want)
+			}
+			if got, want := pbft.Rounds[p][r].Included, opts.Clients-1; got != want {
+				t.Fatalf("pbft peer %d round %d included %d updates, want %d (poison excluded)", p, r+1, got, want)
+			}
+		}
+	}
+
+	// The accuracy gap the verifier keys on: the poisoned model alone
+	// (the poisoned peer's solo combo, first row of its table) scores
+	// far below the best combination on the same clean test set.
+	last := len(pbft.ComboAccuracy[opts.PoisonClient]) - 1
+	row := pbft.ComboAccuracy[opts.PoisonClient][last]
+	poisoned, best := row[0], row[0]
+	for _, acc := range row {
+		if acc > best {
+			best = acc
+		}
+	}
+	if gap := best - poisoned; gap < 0.1 {
+		t.Fatalf("poisoned solo model within %.3f of the best combo (%.3f vs %.3f); no gap to verify against",
+			gap, poisoned, best)
 	}
 }
 
@@ -211,8 +288,8 @@ func TestConsensusLadderScenario(t *testing.T) {
 		t.Fatalf("results = %+v", res)
 	}
 	outcomes := res.Tradeoff.Outcomes
-	if len(outcomes) != 3*len(s.Policies) {
-		t.Fatalf("got %d outcomes, want backends x policies = %d", len(outcomes), 3*len(s.Policies))
+	if len(outcomes) != len(s.Backends)*len(s.Policies) {
+		t.Fatalf("got %d outcomes, want backends x policies = %d", len(outcomes), len(s.Backends)*len(s.Policies))
 	}
 	perBackend := map[string]int{}
 	for _, o := range outcomes {
@@ -225,11 +302,15 @@ func TestConsensusLadderScenario(t *testing.T) {
 	}
 	// The ladder's point: under wait-all, commit latency orders the
 	// substrates. Outcomes are backend-major in registration order
-	// (pow, poa, instant), policy 0 = wait-all.
+	// (pow, poa, pbft, instant), policy 0 = wait-all. pbft's modeled
+	// three-phase latency (75 ms at the default n=4 committee) sits
+	// between poa's 200 ms sealing slot and instant's zero.
 	n := len(s.Policies)
-	powWait, poaWait, instWait := outcomes[0].MeanWaitMs, outcomes[n].MeanWaitMs, outcomes[2*n].MeanWaitMs
-	if !(powWait > poaWait && poaWait > instWait) {
-		t.Fatalf("wait-all mean waits must order pow > poa > instant, got %v > %v > %v", powWait, poaWait, instWait)
+	powWait, poaWait, pbftWait, instWait :=
+		outcomes[0].MeanWaitMs, outcomes[n].MeanWaitMs, outcomes[2*n].MeanWaitMs, outcomes[3*n].MeanWaitMs
+	if !(powWait > poaWait && poaWait > pbftWait && pbftWait > instWait) {
+		t.Fatalf("wait-all mean waits must order pow > poa > pbft > instant, got %v > %v > %v > %v",
+			powWait, poaWait, pbftWait, instWait)
 	}
 	// And the table renders the backend column.
 	if table := res.Tradeoff.Table(); !strings.Contains(table, "backend") || !strings.Contains(table, "instant") {

@@ -19,6 +19,9 @@ import (
 //     commit interval.
 //   - "instant": an in-memory state machine applying contract calls
 //     with no block assembly at all, for huge peer-count sweeps.
+//   - "pbft": consortium PBFT — commit latency from the analytic
+//     three-phase O(n²) model in internal/ledger/latmodel, plus model
+//     verification that screens poisoned submissions at the ledger.
 //
 // — and RegisterBackend adds named parameter variants (a slower PoW,
 // a capacity-constrained chain) without touching engine code:
@@ -75,6 +78,10 @@ type BackendSpec struct {
 	// GenesisDifficulty overrides the PoW starting difficulty
 	// (0 = base default; ignored by non-mining substrates).
 	GenesisDifficulty uint64
+	// Validators overrides the modeled consensus-committee size for
+	// bases with an analytic latency model (pbft: n = 3f+1, minimum 4;
+	// 0 = base default). Ignored by pow/poa/instant.
+	Validators int
 }
 
 // RegisterBackend adds the spec to the backend registry. It rejects
@@ -92,6 +99,9 @@ func RegisterBackend(s BackendSpec) error {
 	spec := s // capture by value: later mutations of s must not leak in
 	return ledger.Register(s.Name, s.Description, func(cfg ledger.Config) (ledger.Backend, error) {
 		cfg.Chain = spec.apply(cfg.Chain)
+		if spec.Validators > 0 {
+			cfg.Validators = spec.Validators
+		}
 		return base(cfg)
 	})
 }

@@ -434,6 +434,12 @@ func BenchmarkBackendPoA(b *testing.B) { benchBackendRounds(b, "poa") }
 // shared state machine, no blocks.
 func BenchmarkBackendInstant(b *testing.B) { benchBackendRounds(b, "instant") }
 
+// BenchmarkBackendPBFT measures the consortium backend: poa-style
+// sealing plus the per-commit verification scan over the pending set
+// (the bench payload is a plain transfer, so the scan finds no model
+// submissions to score) and the analytic latency evaluation.
+func BenchmarkBackendPBFT(b *testing.B) { benchBackendRounds(b, "pbft") }
+
 // BenchmarkBackendInstantVsPoW times the same round on both ends of
 // the consensus ladder and reports the ratio — the per-round price of
 // proof-of-work consensus that the instant backend refunds.

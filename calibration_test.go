@@ -1,0 +1,73 @@
+// Calibration-harness tests: the analytic PBFT latency model must
+// agree with the event-level simulation within the pinned tolerance on
+// every cell of the standard grid, and the report must be bit-identical
+// at any parallelism — pinned as golden bytes.
+package waitornot_test
+
+import (
+	"runtime"
+	"testing"
+
+	"waitornot"
+	"waitornot/internal/testutil"
+)
+
+// TestPBFTCalibrationGolden runs the full calibration grid — committees
+// n ∈ {4, 7, 10, 13, 16, 31} under all four per-hop delay families —
+// at Parallelism 1 and NumCPU, asserts every row's relative error is
+// within the pinned tolerance, and byte-pins the rendered table.
+// Regenerate with `go test -run TestPBFTCalibrationGolden -update .`
+// after an intentional model change.
+func TestPBFTCalibrationGolden(t *testing.T) {
+	var tables []string
+	for _, parallelism := range []int{1, runtime.NumCPU()} {
+		rep, err := waitornot.CalibratePBFT(waitornot.PBFTCalibrationConfig{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(rep.Rows), 4*6; got != want {
+			t.Fatalf("parallelism %d: %d rows, want %d", parallelism, got, want)
+		}
+		for _, row := range rep.Rows {
+			if row.RelErr > rep.Tolerance {
+				t.Errorf("parallelism %d: cell %s/n=%d: rel err %.4f exceeds tolerance %.2f (predicted %.2f, simulated %.2f)",
+					parallelism, row.Dist, row.Validators, row.RelErr, rep.Tolerance, row.PredictedMs, row.SimulatedMs)
+			}
+		}
+		tables = append(tables, rep.Table())
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("calibration table differs between Parallelism 1 and NumCPU:\n%s\nvs\n%s", tables[0], tables[1])
+	}
+	testutil.GoldenFile(t, "testdata/pbft_calibration.golden", []byte(tables[0]))
+}
+
+// TestPBFTCalibrationCustomGrid pins that the grid is parameterizable:
+// a shrunk grid produces exactly its cells, and an impossible committee
+// is rejected with the latmodel error.
+func TestPBFTCalibrationCustomGrid(t *testing.T) {
+	rep, err := waitornot.CalibratePBFT(waitornot.PBFTCalibrationConfig{
+		Validators: []int{4, 7},
+		Dists:      []waitornot.Dist{{Kind: waitornot.DistFixed, Mean: 10}},
+		Rounds:     50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	if rep.Rows[0].Dist != "fixed" || rep.Rows[0].Validators != 4 || rep.Rows[1].Validators != 7 {
+		t.Fatalf("unexpected rows: %+v", rep.Rows)
+	}
+	// Fixed hops make the simulation exact: zero relative error.
+	for _, row := range rep.Rows {
+		if row.RelErr != 0 {
+			t.Fatalf("fixed-hop cell n=%d disagrees: %+v", row.Validators, row)
+		}
+	}
+
+	if _, err := waitornot.CalibratePBFT(waitornot.PBFTCalibrationConfig{Validators: []int{3}}); err == nil {
+		t.Fatal("committee of 3 accepted; PBFT needs n >= 4")
+	}
+}

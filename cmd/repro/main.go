@@ -59,6 +59,7 @@ func main() {
 		seedsFlag   = flag.String("seeds", "", "comma-separated seed list: replicate per seed and report mean ± 95% CI (sweep mode)")
 		repsFlag    = flag.Int("replications", 0, "replicate over N consecutive seeds from -seed (sweep mode; ignored when -seeds is set)")
 		asyncFlag   = flag.Bool("async", false, "run the asynchronous free run: no round barrier, staleness-weighted merging, accuracy vs virtual time")
+		calibrate   = flag.Bool("calibrate-pbft", false, "run the PBFT latency calibration grid (analytic model vs event-level simulation) and exit")
 		timeBudget  = flag.Float64("time-budget-ms", 0, "virtual-time horizon for -async (0 = run until every peer finishes its rounds)")
 		targetAcc   = flag.Float64("target-acc", 0, "with -seeds/-replications, also sweep time-to-this-accuracy per cell")
 	)
@@ -111,6 +112,19 @@ func main() {
 		for _, b := range waitornot.Backends() {
 			fmt.Printf("  %-10s %s\n", b.Name, b.Description)
 		}
+		return
+	}
+	if *calibrate {
+		rep, err := waitornot.CalibratePBFT(waitornot.PBFTCalibrationConfig{
+			Seed:        *seed,
+			Parallelism: *parallel,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: calibration: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Table())
+		fmt.Printf("worst cell: %.2f%% relative error (tolerance %.0f%%)\n", rep.MaxRelErr()*100, rep.Tolerance*100)
 		return
 	}
 	if *scenario != "" {

@@ -146,6 +146,13 @@ func WithBackend(name string) Option {
 	return func(e *Experiment) { e.opts.Backend = name }
 }
 
+// WithValidators sizes the modeled consensus committee for backends
+// with an analytic latency model ("pbft": n = 3f+1, minimum 4;
+// 0 = backend default). See Options.Validators.
+func WithValidators(n int) Option {
+	return func(e *Experiment) { e.opts.Validators = n }
+}
+
 // WithBackends sets the consensus-backend ladder a KindTradeoff
 // experiment sweeps: the policy ladder runs once per backend, and
 // each outcome is labeled with its backend. Ignored by the other

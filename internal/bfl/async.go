@@ -113,8 +113,9 @@ type asyncEngine struct {
 	wallStart time.Time
 
 	// commitAt de-duplicates commit events per cadence boundary.
-	commitAt    map[float64]bool
-	commitCount int
+	commitAt       map[float64]bool
+	commitCount    int
+	verifyRejected int
 }
 
 // RunAsync executes the asynchronous experiment: no global barrier —
@@ -181,6 +182,7 @@ func RunAsync(ctx context.Context, cfg Config) (*AsyncResult, error) {
 	a.res.HorizonMs = e.clock.Now()
 	a.res.TrainWallTime = time.Since(a.wallStart)
 	a.res.Chain = chainStats(e.be)
+	a.res.Chain.VerifyRejected = a.verifyRejected
 	return a.res, nil
 }
 
@@ -493,7 +495,9 @@ func (a *asyncEngine) commitPending() error {
 		GasUsed:   c.GasUsed,
 		LatencyMs: c.LatencyMs,
 		VirtualMs: now,
+		Rejected:  len(c.Rejected),
 	})
+	a.verifyRejected += len(c.Rejected)
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"waitornot/internal/fl"
 	"waitornot/internal/keys"
 	"waitornot/internal/ledger"
+	"waitornot/internal/ledger/latmodel"
 	"waitornot/internal/nn"
 	"waitornot/internal/par"
 	"waitornot/internal/simnet"
@@ -67,6 +69,11 @@ type Config struct {
 	// ("" = ledger.Default, the proof-of-work path; see
 	// internal/ledger for the registry).
 	Backend string
+	// Validators is the modeled consensus-committee size for backends
+	// with an analytic latency model (pbft: n = 3f+1, minimum 4;
+	// 0 = backend default). A latency-model parameter, independent of
+	// Peers.
+	Validators int
 	// CommitLatency, when set, makes the arrival-time model quantize
 	// remote-update visibility to the backend's commit interval
 	// (simnet.CommitVisibilityMs) — wait policies then face realistic
@@ -198,6 +205,10 @@ func (c Config) Validate() error {
 			return fmt.Errorf("bfl: unknown backend %q (registered: %v)", c.Backend, ledger.Names())
 		}
 	}
+	if c.Validators != 0 && c.Validators < latmodel.MinValidators {
+		return fmt.Errorf("bfl: %d validators below the PBFT minimum %d (n = 3f+1 with f >= 1)",
+			c.Validators, latmodel.MinValidators)
+	}
 	if err := c.Compute.Validate(); err != nil {
 		return fmt.Errorf("bfl: compute distribution: %w", err)
 	}
@@ -237,6 +248,11 @@ type ChainStats struct {
 	Bytes       int
 	Submissions int
 	Decisions   int
+	// VerifyRejected counts submissions the backend's model
+	// verification rejected (pbft): committed as transactions but
+	// excluded from every aggregation batch. Submissions still counts
+	// them — they are on the chain, just not on the contract.
+	VerifyRejected int
 }
 
 // Result is the complete decentralized experiment output.
@@ -419,12 +435,26 @@ func (e *engine) setup() error {
 		alloc[peerKeys[i].Address()] = 1 << 62
 		sealers[i] = peerKeys[i].Address()
 	}
+	// Consortium verification set: an independent held-out sample the
+	// ledger's model verification (pbft) scores submissions on. Derive
+	// does not advance the root stream, so building it unconditionally
+	// perturbs no other backend's results.
+	verifySet := dataset.Generate(cfg.Data, cfg.SelectionSize, root.Derive("ledger-verify"))
+	verifyEval := fl.NewAccuracyEvaluator(cfg.Model, verifySet)
+	verify := func(w []float32) float64 {
+		if len(w) != len(initial) {
+			return math.NaN()
+		}
+		return verifyEval(w)
+	}
 	be, err := ledger.New(cfg.Backend, ledger.Config{
-		Peers:   cfg.Peers,
-		Chain:   cfg.Chain,
-		Alloc:   alloc,
-		Proc:    vm,
-		Sealers: sealers,
+		Peers:      cfg.Peers,
+		Chain:      cfg.Chain,
+		Alloc:      alloc,
+		Proc:       vm,
+		Sealers:    sealers,
+		Validators: cfg.Validators,
+		Verify:     verify,
 	})
 	if err != nil {
 		return err
@@ -520,6 +550,7 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 	}
 
 	trainStart := time.Now()
+	verifyRejected := 0
 	for round := 1; round <= cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -563,9 +594,11 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 			return nil, nil, err
 		}
 		leader := (round - 1) % cfg.Peers
-		if _, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now)); err != nil {
+		subCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now))
+		if err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d submission block: %w", round, err)
 		}
+		verifyRejected += len(subCommit.Rejected)
 		for i, p := range peers {
 			sink.Emit(event.ModelSubmitted{Round: round, Peer: p.name, Bytes: blobBytes[i]})
 		}
@@ -584,6 +617,20 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 			onChain, err := readUpdates(be, i, round)
 			if err != nil {
 				return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+			}
+			// A peer whose own submission the backend's verification
+			// rejected still aggregates with its local update — a peer
+			// never discards its own model (and Decide requires it).
+			selfOnChain := false
+			for _, u := range onChain {
+				if u.Client == p.name {
+					selfOnChain = true
+					break
+				}
+			}
+			if !selfOnChain {
+				onChain = append(onChain, updates[i])
+				sort.Slice(onChain, func(a, b int) bool { return onChain[a].Client < onChain[b].Client })
 			}
 			included, waitMs := applyPolicy(cfg.Policy, p.name, p.simTrainMs, onChain, remoteArrival)
 			decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), cfg.Peers)
@@ -604,12 +651,14 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 			res.Rounds[i] = append(res.Rounds[i], stats)
 
 			// Table rows: evaluate every paper combo over the full
-			// update set (independent of the wait policy).
+			// update set — independent of the wait policy AND of ledger
+			// verification (which can exclude a peer's update from
+			// onChain), so every labeled row stays defined each round.
 			if cfg.EvalAllCombos {
 				combos := fl.PaperCombos(cfg.Peers, i)
 				row := make([]float64, 0, len(combos))
 				if len(p.testEvals) > 1 {
-					results, err := fl.EvaluateCombosWith(onChain, combos, p.testEvals)
+					results, err := fl.EvaluateCombosWith(updates, combos, p.testEvals)
 					if err != nil {
 						return err
 					}
@@ -618,7 +667,7 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 					}
 				} else {
 					for _, combo := range combos {
-						w, err := fl.FedAvg(combo.Pick(onChain))
+						w, err := fl.FedAvg(combo.Pick(updates))
 						if err != nil {
 							return err
 						}
@@ -660,13 +709,16 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 		if now, err = e.clock.Advance(e.clockStep); err != nil {
 			return nil, nil, err
 		}
-		if _, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now)); err != nil {
+		decCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now))
+		if err != nil {
 			return nil, nil, fmt.Errorf("bfl: round %d decision block: %w", round, err)
 		}
+		verifyRejected += len(decCommit.Rejected)
 		sink.Emit(event.RoundEnd{Round: round})
 	}
 	res.TrainWallTime = time.Since(trainStart)
 	res.Chain = chainStats(be)
+	res.Chain.VerifyRejected = verifyRejected
 	return res, be, nil
 }
 
@@ -690,6 +742,7 @@ func commitRound(be ledger.Backend, sink event.Sink, round, leader, wantTxs int,
 		GasUsed:   c.GasUsed,
 		LatencyMs: c.LatencyMs,
 		VirtualMs: float64(timeMs),
+		Rejected:  len(c.Rejected),
 	})
 	return c, nil
 }

@@ -108,6 +108,9 @@ type BlockCommitted struct {
 	GasUsed   uint64
 	LatencyMs float64
 	VirtualMs float64
+	// Rejected counts submissions the backend's model verification
+	// excluded from the aggregation batch (pbft; 0 elsewhere).
+	Rejected int
 }
 
 // EventName implements Event.
@@ -214,7 +217,11 @@ func String(ev Event) string {
 	case ModelSubmitted:
 		return fmt.Sprintf("%s r%d %s", e.EventName(), e.Round, e.Peer)
 	case BlockCommitted:
-		return fmt.Sprintf("%s r%d %s h%d n=%d", e.EventName(), e.Round, e.Backend, e.Height, e.Txs)
+		s := fmt.Sprintf("%s r%d %s h%d n=%d", e.EventName(), e.Round, e.Backend, e.Height, e.Txs)
+		if e.Rejected > 0 {
+			s += fmt.Sprintf(" rej=%d", e.Rejected)
+		}
+		return s
 	case AggregationDecided:
 		return fmt.Sprintf("%s r%d %s%s n=%d", e.EventName(), e.Round, e.Peer, armSuffix(e.Arm), e.Included)
 	case PeerAggregated:

@@ -20,6 +20,11 @@
 //   - instant: an in-memory state machine applying contract calls with
 //     no block assembly at all — the consensus-free limit, for huge
 //     peer-count sweeps. See DESIGN.md for why FL semantics survive.
+//   - pbft: consortium PBFT — PoA-style sealing whose commit latency
+//     comes from the analytic three-phase O(n²) model in
+//     internal/ledger/latmodel, plus model verification that scores
+//     each submitted update against the committed model and excludes
+//     outliers from the aggregation batch (see pbft.go).
 //
 // Backends are constructed through a registry (Register / New /
 // Backends) mirroring the public scenario registry, so new substrates
@@ -34,6 +39,7 @@ import (
 
 	"waitornot/internal/chain"
 	"waitornot/internal/keys"
+	"waitornot/internal/simnet"
 )
 
 // Config is everything a backend factory needs: the participant count,
@@ -51,6 +57,20 @@ type Config struct {
 	Proc chain.Processor
 	// Sealers[i] is peer i's block-sealing address.
 	Sealers []keys.Address
+	// Validators is the modeled consensus-committee size for backends
+	// with an analytic latency model (pbft: n = 3f+1, minimum 4;
+	// 0 = backend default). Independent of Peers — the committee is a
+	// latency-model parameter, state replication stays per-peer.
+	Validators int
+	// Net is the per-message network delay distribution (ms) the
+	// analytic latency model integrates over (zero = backend default).
+	Net simnet.Dist
+	// Verify scores a submitted model's weight vector on the
+	// consortium's validation set — higher is better, NaN means the
+	// vector cannot be scored. Backends with model verification (pbft)
+	// reject submissions scoring more than a fixed margin below the
+	// round's best; nil disables verification.
+	Verify func(weights []float32) float64
 }
 
 // Validate rejects configs no backend can honour.
@@ -82,6 +102,11 @@ type Commit struct {
 	// visibility delay between submitting into the pending set and the
 	// batch being readable on every peer's view.
 	LatencyMs float64
+	// Rejected lists transactions whose model submission failed the
+	// backend's verification (pbft): the transaction committed — nonce
+	// advanced, audit trail intact — but its contract effect was
+	// suppressed, so the update is excluded from the aggregation batch.
+	Rejected []chain.Hash
 }
 
 // Footprint is a ledger's cumulative on-chain cost, the data behind
@@ -281,4 +306,6 @@ func init() {
 		func(cfg Config) (Backend, error) { return newPoA("poa", cfg) })
 	MustRegister("instant", "in-memory state machine, no block assembly (consensus-free limit)",
 		func(cfg Config) (Backend, error) { return newInstant("instant", cfg) })
+	MustRegister("pbft", "consortium PBFT: analytic 3-phase O(n²) latency model + model verification",
+		func(cfg Config) (Backend, error) { return newPBFT("pbft", cfg) })
 }

@@ -45,7 +45,7 @@ func registerTx(t *testing.T, cfg ledger.Config, k *keys.Key, nonce uint64, name
 
 func TestRegistryBuiltins(t *testing.T) {
 	names := ledger.Names()
-	want := map[string]bool{"pow": true, "poa": true, "instant": true}
+	want := map[string]bool{"pow": true, "poa": true, "instant": true, "pbft": true}
 	for _, n := range names {
 		delete(want, n)
 	}

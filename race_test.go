@@ -198,6 +198,47 @@ func TestRaceSmokeConsensusLadder(t *testing.T) {
 	}
 }
 
+// TestRaceSmokePBFT pushes the pbft backend's verification path — the
+// validation-set evaluator called from inside Commit — through the
+// concurrent decision workers, then runs the full four-backend
+// consensus ladder as a policies × backends cross product with enough
+// worker budget that every arm also parallelizes internally.
+func TestRaceSmokePBFT(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         4,
+		Rounds:          1,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		Backend:         "pbft",
+		Parallelism:     8,
+	}
+	if _, err := waitornot.RunDecentralized(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Clients = 3
+	opts.StragglerFactor = []float64{1, 1, 3}
+	opts.CommitLatency = true
+	opts.Backend = ""
+	// 2 policies x 4 backends = 8 arms; Parallelism 16 leaves each an
+	// inner pool of 2.
+	opts.Parallelism = 16
+	res, err := waitornot.New(opts,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(waitornot.Policy{Kind: waitornot.WaitAll}, waitornot.Policy{Kind: waitornot.FirstK, K: 1}),
+		waitornot.WithBackends("pow", "poa", "pbft", "instant")).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tradeoff.Outcomes) != 8 {
+		t.Fatalf("outcomes = %d, want 8", len(res.Tradeoff.Outcomes))
+	}
+}
+
 // TestRaceSmokeAsync runs the asynchronous engine alongside itself:
 // the event loop is single-threaded by design, but the race detector
 // still patrols the ledger reads, the observer sink, and the shared

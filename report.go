@@ -121,6 +121,10 @@ type ChainSummary struct {
 	Bytes       int
 	Submissions int
 	Decisions   int
+	// VerifyRejected counts submissions the backend's model
+	// verification excluded from aggregation (pbft; 0 elsewhere).
+	// They stay in Submissions — on the chain, not on the contract.
+	VerifyRejected int
 }
 
 // DecentralizedReport is the blockchain experiment's output
@@ -164,12 +168,13 @@ func runDecentralizedExperiment(ctx context.Context, opts Options, sink event.Si
 		ComboLabels:   res.ComboLabels,
 		ComboAccuracy: res.ComboAccuracy,
 		Chain: ChainSummary{
-			Blocks:      res.Chain.Blocks,
-			Txs:         res.Chain.Txs,
-			GasUsed:     res.Chain.GasUsed,
-			Bytes:       res.Chain.Bytes,
-			Submissions: res.Chain.Submissions,
-			Decisions:   res.Chain.Decisions,
+			Blocks:         res.Chain.Blocks,
+			Txs:            res.Chain.Txs,
+			GasUsed:        res.Chain.GasUsed,
+			Bytes:          res.Chain.Bytes,
+			Submissions:    res.Chain.Submissions,
+			Decisions:      res.Chain.Decisions,
+			VerifyRejected: res.Chain.VerifyRejected,
 		},
 	}
 	rep.Rounds = make([][]RoundInfo, len(res.Rounds))

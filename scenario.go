@@ -187,15 +187,15 @@ func init() {
 	})
 	MustRegisterScenario(Scenario{
 		Name: "consensus-ladder",
-		Description: "backends x wait policies: pow vs poa vs instant commit latency " +
-			"under the full wait ladder with a 3x straggler",
+		Description: "backends x wait policies: pow vs poa vs pbft vs instant commit " +
+			"latency under the full wait ladder with a 3x straggler",
 		Kind: KindTradeoff,
 		Options: Options{
 			StragglerFactor: []float64{1, 1, 3},
 			CommitLatency:   true,
 		},
 		Policies: DefaultPolicies(3),
-		Backends: []string{"pow", "poa", "instant"},
+		Backends: []string{"pow", "poa", "pbft", "instant"},
 	})
 	MustRegisterScenario(Scenario{
 		Name: "async-free-run",

@@ -29,6 +29,7 @@ import (
 	"waitornot/internal/core"
 	"waitornot/internal/fl"
 	"waitornot/internal/ledger"
+	"waitornot/internal/ledger/latmodel"
 	"waitornot/internal/nn"
 	"waitornot/internal/simnet"
 )
@@ -242,6 +243,11 @@ type Options struct {
 	// wait policies face realistic block-interval delays. Off by
 	// default, preserving the historical arrival model.
 	CommitLatency bool
+	// Validators sizes the modeled consensus committee for backends
+	// with an analytic latency model ("pbft": n = 3f+1, minimum 4;
+	// 0 = backend default). It is independent of Clients — the
+	// committee is a latency-model parameter, not a participant count.
+	Validators int
 
 	// ComputeDist, when set, draws a per-peer per-round multiplier on
 	// the modeled training duration (heterogeneous compute) from this
@@ -297,6 +303,10 @@ func (o Options) Validate() error {
 			return fmt.Errorf("waitornot: unknown backend %q (registered: %s)",
 				o.Backend, strings.Join(ledger.Names(), ", "))
 		}
+	}
+	if o.Validators != 0 && o.Validators < latmodel.MinValidators {
+		return fmt.Errorf("waitornot: %d validators below the PBFT minimum %d (n = 3f+1 with f >= 1)",
+			o.Validators, latmodel.MinValidators)
 	}
 	o = o.withDefaults()
 	if o.Model != SimpleNN && o.Model != EffNetB0Sim {
@@ -385,6 +395,7 @@ func (o Options) decentralized() bfl.Config {
 		Parallelism:     o.Parallelism,
 		Backend:         o.Backend,
 		CommitLatency:   o.CommitLatency,
+		Validators:      o.Validators,
 
 		Compute:             o.ComputeDist.internal(),
 		Network:             o.NetworkDist.internal(),
