@@ -10,6 +10,7 @@ package waitornot_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -319,6 +320,7 @@ func BenchmarkFedAvgSimpleNN(b *testing.B) {
 		}
 		ups[i] = &fl.Update{Client: fl.ClientName(i), Round: 1, Weights: w, NumSamples: 3000}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fl.FedAvg(ups); err != nil {
@@ -605,5 +607,76 @@ func BenchmarkAsyncVsSync(b *testing.B) {
 	b.ReportMetric(asyncVirtual/float64(b.N), "async-virtual-ms")
 	if asyncWall > 0 {
 		b.ReportMetric(float64(syncWall)/float64(asyncWall), "speedup-x")
+	}
+}
+
+// BenchmarkShardedVsFlat races the hierarchy against the flat
+// decentralized loop on the same 8-peer workload: 4 shards of 2 peers
+// each, merging every round, vs one 8-peer aggregation ring.
+// flat-sec/op vs sharded-sec/op is the REAL wall-clock comparison
+// (smaller shards mean smaller combination spaces and ledgers);
+// sharded-virtual-ms is the hierarchy's modeled completion time.
+func BenchmarkShardedVsFlat(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.Clients = 8
+	opts.SkipComboTables = true
+	opts.StragglerFactor = []float64{1, 1, 1, 1, 1, 1, 1, 3}
+	opts.CommitLatency = true
+
+	var flatWall, shardWall time.Duration
+	var horizon, finalAcc float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := waitornot.RunDecentralized(opts); err != nil {
+			b.Fatal(err)
+		}
+		flatWall += time.Since(start)
+
+		sharded := opts
+		sharded.Shards = 4
+		start = time.Now()
+		rep, err := waitornot.RunSharded(sharded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shardWall += time.Since(start)
+		horizon += rep.HorizonMs
+		finalAcc += rep.FinalAccuracy
+	}
+	b.ReportMetric(flatWall.Seconds()/float64(b.N), "flat-sec/op")
+	b.ReportMetric(shardWall.Seconds()/float64(b.N), "sharded-sec/op")
+	b.ReportMetric(horizon/float64(b.N), "sharded-virtual-ms")
+	b.ReportMetric(finalAcc/float64(b.N), "sharded-final-acc")
+	if shardWall > 0 {
+		b.ReportMetric(float64(flatWall)/float64(shardWall), "speedup-x")
+	}
+}
+
+// BenchmarkShardScaling sweeps the shard count over a fixed 16-peer
+// fleet (S=1 is the flat-equivalent baseline) and reports each
+// configuration's virtual completion time and global accuracy — the
+// partitioning trade-off at a glance.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("S=%d", shards), func(b *testing.B) {
+			opts := benchOpts(waitornot.SimpleNN)
+			opts.Clients = 16
+			opts.Rounds = 2
+			opts.SkipComboTables = true
+			opts.CommitLatency = true
+			opts.Shards = shards
+
+			var horizon, finalAcc float64
+			for i := 0; i < b.N; i++ {
+				rep, err := waitornot.RunSharded(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				horizon += rep.HorizonMs
+				finalAcc += rep.FinalAccuracy
+			}
+			b.ReportMetric(horizon/float64(b.N), "virtual-ms")
+			b.ReportMetric(finalAcc/float64(b.N), "final-acc")
+		})
 	}
 }

@@ -13,6 +13,12 @@
 //	repro -scenarios             list registered scenarios
 //	repro -scenario async-ladder run one, streaming per-round progress
 //
+// Sharded hierarchy: -shards S partitions the fleet into S shards,
+// each aggregating on its own ledger, with periodic cross-shard merges
+// (-merge-every N, -merge-mode sync|async). -clients resizes the fleet
+// (default 4 per shard). Scenario names: sharded-hierarchy (topology
+// sweep), adaptive-shards (per-shard policy controller).
+//
 // Replication: -seeds 1,2,3 (or -replications N) switches to sweep
 // mode — every wait-policy × backend cell is replayed once per seed
 // and the tables report mean ± 95% CI instead of single-seed point
@@ -62,6 +68,10 @@ func main() {
 		calibrate   = flag.Bool("calibrate-pbft", false, "run the PBFT latency calibration grid (analytic model vs event-level simulation) and exit")
 		timeBudget  = flag.Float64("time-budget-ms", 0, "virtual-time horizon for -async (0 = run until every peer finishes its rounds)")
 		targetAcc   = flag.Float64("target-acc", 0, "with -seeds/-replications, also sweep time-to-this-accuracy per cell")
+		shards      = flag.Int("shards", 0, "run the sharded multi-aggregator hierarchy with this many shards (>= 2)")
+		clients     = flag.Int("clients", 0, "fleet size for -shards (0 = 4 clients per shard; every shard needs >= 2)")
+		mergeEvery  = flag.Int("merge-every", 0, "cross-shard merge cadence in shard rounds for -shards (0 = every round)")
+		mergeMode   = flag.String("merge-mode", "sync", "cross-shard merge discipline for -shards: sync (barrier) or async (staleness-weighted, on arrival)")
 	)
 	flag.Parse()
 
@@ -95,6 +105,28 @@ func main() {
 		fatalUsage("-target-acc is a sweep metric; add -seeds or -replications")
 	case *targetAcc < 0 || *targetAcc > 1:
 		fatalUsage("-target-acc must be an accuracy in [0, 1]")
+	case set["exp"] && *shards > 0:
+		fatalUsage("-shards is its own experiment (the sharded hierarchy); drop -exp")
+	case *shards > 0 && *asyncFlag:
+		fatalUsage("-shards and -async both select what runs; for async cross-shard merging use -shards with -merge-mode async")
+	case *shards > 0 && *scenario != "":
+		fatalUsage("-shards and -scenario both select what runs; pick one (sharded scenarios: sharded-hierarchy, adaptive-shards)")
+	case *shards > 0 && sweeping:
+		fatalUsage("-shards does not combine with -seeds/-replications; use -scenario sharded-hierarchy for a replicated topology sweep")
+	case *shards == 1 || *shards < 0:
+		fatalUsage("-shards needs at least 2 shards (1 shard is the flat run; use -exp tables234)")
+	case (set["merge-every"] || set["merge-mode"]) && *shards == 0:
+		fatalUsage("-merge-every/-merge-mode only apply to the sharded hierarchy; add -shards")
+	case *mergeEvery < 0:
+		fatalUsage("-merge-every must be >= 0")
+	case *mergeMode != "sync" && *mergeMode != "async":
+		fatalUsage(fmt.Sprintf("unknown -merge-mode %q (want sync or async)", *mergeMode))
+	case set["clients"] && *shards == 0:
+		fatalUsage("-clients sizes the sharded fleet; add -shards (the paper grids are fixed at 3 clients)")
+	case set["clients"] && *clients < 2**shards:
+		fatalUsage(fmt.Sprintf("-clients %d leaves a shard with fewer than 2 clients across %d shards", *clients, *shards))
+	case *shards > 0 && *clients > 0 && *shards > *clients:
+		fatalUsage(fmt.Sprintf("-shards %d exceeds the %d-client fleet", *shards, *clients))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -209,6 +241,33 @@ func main() {
 					expOpts = append(expOpts, waitornot.WithObserverFunc(printEvent))
 				}
 				printSweep(ctx, waitornot.New(o, expOpts...), *csv)
+			}
+		})
+		return
+	}
+
+	// -shards: the sharded multi-aggregator hierarchy — contiguous
+	// shards aggregating independently on their own ledgers, folded by
+	// periodic cross-shard merges on the shared virtual clock.
+	if *shards > 0 {
+		run("Sharded multi-aggregator hierarchy", func() {
+			for _, m := range models {
+				o := opts
+				o.Clients = *clients
+				if o.Clients == 0 {
+					o.Clients = 4 * *shards
+				}
+				o.MergeCadence = *mergeEvery
+				if *mergeMode == "async" {
+					o.MergeMode = waitornot.MergeAsync
+				}
+				o.CommitLatency = true
+				o.SkipComboTables = true
+				res := runExperiment(o, m, waitornot.WithShards(*shards))
+				printResults(res, m.String())
+				if *csv {
+					fmt.Println(res.Sharded.CSV())
+				}
 			}
 		})
 		return
@@ -472,6 +531,18 @@ func printResults(res *waitornot.Results, model string) {
 		fmt.Printf("on-chain footprint: %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n\n",
 			rep.Chain.Blocks, rep.Chain.Txs, rep.Chain.Submissions, rep.Chain.Decisions,
 			float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)
+	case res.Sharded != nil:
+		rep := res.Sharded
+		fmt.Println(rep.Table())
+		fmt.Println()
+		fmt.Println(rep.MergeTable())
+		fmt.Println(rep.Summary())
+		for _, s := range rep.Shards {
+			fmt.Printf("shard %d ledger (%s): %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n",
+				s.Index, s.Backend, s.Chain.Blocks, s.Chain.Txs, s.Chain.Submissions, s.Chain.Decisions,
+				float64(s.Chain.GasUsed)/1e6, float64(s.Chain.Bytes)/1e6)
+		}
+		fmt.Println()
 	}
 }
 
@@ -508,6 +579,19 @@ func printEvent(ev waitornot.Event) {
 	case waitornot.PolicyDone:
 		fmt.Printf("   policy     %-18s acc %.4f  wait %8.1f ms  models %.2f\n",
 			e.Policy, e.FinalAccuracy, e.MeanWaitMs, e.MeanIncluded)
+	case waitornot.ShardRoundEnd:
+		fmt.Printf("   shard %d    r%d @ %.0f ms [%s]: wait %.1f ms, %.2f models\n",
+			e.Shard, e.Round, e.VirtualMs, e.Policy, e.MaxWaitMs, e.MeanIncluded)
+	case waitornot.ShardModelCommitted:
+		fmt.Printf("   published  shard %d epoch %d (r%d, %d samples): acc %.4f\n",
+			e.Shard, e.Epoch, e.Round, e.Samples, e.Accuracy)
+	case waitornot.GlobalMerge:
+		who := "barrier"
+		if e.Shard >= 0 {
+			who = fmt.Sprintf("shard %d", e.Shard)
+		}
+		fmt.Printf("   merged     epoch %d (%s, %s): %d shard models -> acc %.4f at wait %.1f ms\n",
+			e.Epoch, e.Mode, who, e.Included, e.Accuracy, e.WaitMs)
 	case waitornot.SweepProgress:
 		cell := e.Policy
 		if e.Backend != "" {

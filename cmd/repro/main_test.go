@@ -1,0 +1,116 @@
+// CLI helper tests: flag parsing and the rendering paths the binary
+// owns — seed-list parsing, the per-kind report printers, and the
+// streaming event formatter — exercised against a real tiny run so the
+// output stays wired to the library's actual types.
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"waitornot"
+)
+
+func TestParseSeeds(t *testing.T) {
+	if got, err := parseSeeds(""); err != nil || got != nil {
+		t.Fatalf("empty seeds = %v, %v", got, err)
+	}
+	got, err := parseSeeds("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseSeeds = %v, %v", got, err)
+	}
+	if _, err := parseSeeds("1,x"); err == nil {
+		t.Fatal("expected an error for a non-numeric seed")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// tinyShardedOpts is the smallest sharded run that still exercises the
+// whole printing surface: 2 shards, straggler, commit latency.
+func tinyShardedOpts() waitornot.Options {
+	return waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         4,
+		Rounds:          1,
+		Seed:            7,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		LearningRate:    0.01,
+		SkipComboTables: true,
+		CommitLatency:   true,
+		StragglerFactor: []float64{1, 1, 1, 3},
+	}
+}
+
+// TestPrintShardedRun drives the sharded experiment through the CLI's
+// own streaming and report printers and checks the headline lines land.
+func TestPrintShardedRun(t *testing.T) {
+	var res *waitornot.Results
+	stream := captureStdout(t, func() {
+		var err error
+		res, err = waitornot.New(tinyShardedOpts(), waitornot.WithShards(2),
+			waitornot.WithObserverFunc(printEvent)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"shard 0", "published  shard", "merged     epoch 1"} {
+		if !strings.Contains(stream, want) {
+			t.Fatalf("event stream missing %q:\n%s", want, stream)
+		}
+	}
+	out := captureStdout(t, func() { printResults(res, "simple") })
+	for _, want := range []string{"Sharded hierarchy", "Cross-shard merges", "sharded hierarchy: 2 shards", "shard 0 ledger", "shard 1 ledger"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sharded report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrintDecentralizedRun covers the flat printer and the per-round
+// event skeleton the sharded path replaced.
+func TestPrintDecentralizedRun(t *testing.T) {
+	opts := tinyShardedOpts()
+	opts.Clients = 3
+	opts.StragglerFactor = nil
+	var res *waitornot.Results
+	stream := captureStdout(t, func() {
+		var err error
+		res, err = waitornot.New(opts, waitornot.WithObserverFunc(printEvent)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"-- round 1", "trained    A", "committed  block", "aggregated"} {
+		if !strings.Contains(stream, want) {
+			t.Fatalf("event stream missing %q:\n%s", want, stream)
+		}
+	}
+	out := captureStdout(t, func() { printResults(res, "simple") })
+	if !strings.Contains(out, "on-chain footprint") {
+		t.Fatalf("decentralized report output missing chain footprint:\n%s", out)
+	}
+}

@@ -26,6 +26,13 @@ import "waitornot/internal/event"
 // PolicyDone per policy, in sweep order; a replication sweep
 // (RunSweep) emits one SweepProgress per completed replication, in
 // flat seed-major work-list order.
+//
+// A sharded run (KindSharded) emits shard-level events instead of the
+// per-round skeleton: one ShardRoundEnd per shard round, one
+// ShardModelCommitted per shard per merge epoch, and one GlobalMerge
+// per cross-shard merge — all in virtual-clock order (ties broken by
+// shard index), which the single-threaded scheduler makes identical at
+// every Parallelism.
 type (
 	// Event is one observation from a running experiment; switch on
 	// the concrete types below.
@@ -51,6 +58,15 @@ type (
 	// SweepProgress reports one completed replication of a multi-seed
 	// sweep (RunSweep), in deterministic flat work-list order.
 	SweepProgress = event.SweepProgress
+	// ShardRoundEnd reports one completed shard-local round in a
+	// KindSharded run.
+	ShardRoundEnd = event.ShardRoundEnd
+	// ShardModelCommitted reports a shard publishing its model for
+	// cross-shard merging at a merge-epoch boundary.
+	ShardModelCommitted = event.ShardModelCommitted
+	// GlobalMerge reports one cross-shard merge producing (and, sync
+	// mode, pushing down) the global model.
+	GlobalMerge = event.GlobalMerge
 )
 
 // EventString renders an event compactly for logs.

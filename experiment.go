@@ -25,6 +25,13 @@ const (
 	// the report is accuracy-vs-virtual-time rather than per-round
 	// tables.
 	KindAsync
+	// KindSharded is the sharded multi-aggregator hierarchy: the fleet
+	// is partitioned into shards, each running its own aggregation loop
+	// against its own ledger backend with its own wait policy, with a
+	// periodic cross-shard merge (sync barrier or async
+	// staleness-weighted) producing the global model — all on one
+	// shared virtual clock.
+	KindSharded
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +45,8 @@ func (k Kind) String() string {
 		return "tradeoff"
 	case KindAsync:
 		return "async"
+	case KindSharded:
+		return "sharded"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -98,6 +107,48 @@ func WithKind(k Kind) Option {
 // clock.
 func WithAsync() Option {
 	return WithKind(KindAsync)
+}
+
+// WithShards switches the experiment to the sharded hierarchy
+// (KindSharded) with n shards: the fleet is partitioned contiguously,
+// each shard aggregates independently on its own ledger, and a
+// cross-shard merge stage produces the global model. Every shard needs
+// at least 2 clients.
+func WithShards(n int) Option {
+	return func(e *Experiment) {
+		e.kind = KindSharded
+		e.opts.Shards = n
+	}
+}
+
+// WithShardBackends assigns each shard's consensus backend: one name
+// for all shards, or exactly one per shard (see Options.ShardBackends).
+func WithShardBackends(names ...string) Option {
+	return func(e *Experiment) {
+		e.opts.ShardBackends = make([]string, len(names))
+		copy(e.opts.ShardBackends, names)
+	}
+}
+
+// WithMergeCadence sets how many shard rounds pass between cross-shard
+// merges (default 1; the final round always merges).
+func WithMergeCadence(rounds int) Option {
+	return func(e *Experiment) { e.opts.MergeCadence = rounds }
+}
+
+// WithMergeMode selects the cross-shard merge discipline: MergeSync
+// (barrier) or MergeAsync (staleness-weighted, on arrival).
+func WithMergeMode(m MergeMode) Option {
+	return func(e *Experiment) { e.opts.MergeMode = m }
+}
+
+// WithAdaptiveShards enables the per-shard epsilon-greedy wait-policy
+// controller: at every merge epoch each shard scores the policy it
+// just ran (accuracy gained per second of wait) and picks the next
+// epoch's policy from the experiment's ladder (WithPolicies, or
+// DefaultPolicies for the smallest shard when none is set).
+func WithAdaptiveShards() Option {
+	return func(e *Experiment) { e.opts.AdaptiveShards = true }
 }
 
 // WithTimeBudget caps a KindAsync run's virtual horizon in ms (see
@@ -184,6 +235,27 @@ func WithReplications(n int) Option {
 	return func(e *Experiment) { e.sweep.Replications = n }
 }
 
+// WithShardCounts sets the shard-count axis a KindSharded RunSweep
+// spans: each count becomes one cell per backend × merge cadence.
+// Ignored by Run and the other kinds. Zero counts restore the single
+// configured Options.Shards.
+func WithShardCounts(counts ...int) Option {
+	return func(e *Experiment) {
+		e.sweep.ShardCounts = make([]int, len(counts))
+		copy(e.sweep.ShardCounts, counts)
+	}
+}
+
+// WithMergeCadences sets the merge-cadence axis a KindSharded RunSweep
+// spans (see WithShardCounts). Zero cadences restore the single
+// configured Options.MergeCadence.
+func WithMergeCadences(cadences ...int) Option {
+	return func(e *Experiment) {
+		e.sweep.MergeCadences = make([]int, len(cadences))
+		copy(e.sweep.MergeCadences, cadences)
+	}
+}
+
 // WithTargetAccuracy adds time-to-target-accuracy as a sweep metric:
 // every RunSweep replication also reports the virtual time at which
 // its mean accuracy first reached target, summarized per cell as
@@ -223,6 +295,12 @@ func (e *Experiment) applyScenario(s Scenario) {
 	if len(s.Seeds) > 0 {
 		e.sweep.Seeds = make([]uint64, len(s.Seeds))
 		copy(e.sweep.Seeds, s.Seeds)
+	}
+	if len(s.ShardCounts) > 0 {
+		e.sweep.ShardCounts = append([]int(nil), s.ShardCounts...)
+	}
+	if len(s.MergeCadences) > 0 {
+		e.sweep.MergeCadences = append([]int(nil), s.MergeCadences...)
 	}
 }
 
@@ -274,6 +352,8 @@ type Results struct {
 	Tradeoff *TradeoffReport
 	// Async is set for KindAsync.
 	Async *AsyncReport
+	// Sharded is set for KindSharded.
+	Sharded *ShardedReport
 }
 
 // Run executes the experiment. The context cancels cooperatively: the
@@ -327,6 +407,12 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 			return nil, err
 		}
 		res.Async = rep
+	case KindSharded:
+		rep, err := runShardedExperiment(ctx, e.opts, e.policies, sink)
+		if err != nil {
+			return nil, err
+		}
+		res.Sharded = rep
 	default:
 		return nil, fmt.Errorf("waitornot: unknown experiment kind %v", e.kind)
 	}

@@ -384,7 +384,12 @@ func (a *asyncEngine) fire(p *asyncPeer, closeOut bool) error {
 			coef[i] = float64(u.NumSamples)
 		}
 	}
-	merged, err := fl.WeightedFedAvg(kept, coef)
+	// Merge into the peer's reused scratch. Adopting the alias is safe:
+	// the engine is single-threaded on the clock, and this peer's next
+	// fire — the only thing that overwrites its scratch — can only run
+	// after the next round's Adopt has copied these weights into the
+	// client's model.
+	merged, err := p.avg.WeightedFedAvg(kept, coef)
 	if err != nil {
 		return fmt.Errorf("bfl: %s round %d merge: %w", p.name, p.round, err)
 	}

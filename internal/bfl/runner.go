@@ -282,12 +282,21 @@ type peerState struct {
 	nonce  uint64
 	// adopted is the weight vector training starts from next round.
 	adopted []float32
+	// samples is the peer's training-shard size, fixed at setup — the
+	// FedAvg weight of everything this peer contributes upward.
+	samples int
 	// simTrainMs is the deterministic training-duration model used for
 	// arrival times (samples x epochs x per-sample cost x straggler).
 	simTrainMs float64
 	// testEvals are worker evaluators over the peer's test set, used to
-	// score the Tables II-IV combination grid concurrently.
+	// score the Tables II-IV combination grid concurrently; testAvgs
+	// pairs them with per-worker scratch accumulators reused across
+	// rounds.
 	testEvals []fl.Evaluator
+	testAvgs  []*fl.Averager
+	// avg is the sequential table path's scratch accumulator (table
+	// rows are evaluated and discarded, never retained).
+	avg fl.Averager
 }
 
 // perSampleCostMs approximates one training pass's cost, used only by
@@ -362,6 +371,10 @@ type engine struct {
 	// whole ms, and bit-compatibility keeps that).
 	clock     *vclock.Clock
 	clockStep float64
+
+	// verifyRejected accumulates ledger-verification rejections across
+	// the barriered rounds (pbft model screening).
+	verifyRejected int
 }
 
 // newEngine builds the experiment state shared by both schedules.
@@ -381,6 +394,17 @@ func newEngine(cfg Config) (*engine, error) {
 // commits them as the first batch at the clock's first cadence tick
 // (round 0).
 func (e *engine) register() error {
+	now, err := e.clock.Advance(e.clockStep)
+	if err != nil {
+		return err
+	}
+	return e.registerAt(now)
+}
+
+// registerAt is register with the commit timestamp supplied by the
+// caller — the sharded orchestrator owns the clock, so its engines
+// take explicit instants instead of advancing one themselves.
+func (e *engine) registerAt(tsMs float64) error {
 	for _, p := range e.peers {
 		tx, err := chain.NewTx(p.key, p.nonce, contract.RegistryAddress, 0,
 			contract.RegisterCallData(p.name), e.cfg.Chain.Gas, 1_000_000, 1)
@@ -392,11 +416,7 @@ func (e *engine) register() error {
 			return fmt.Errorf("bfl: registration tx: %w", err)
 		}
 	}
-	now, err := e.clock.Advance(e.clockStep)
-	if err != nil {
-		return err
-	}
-	if _, err := commitRound(e.be, e.sink, 0, 0, e.cfg.Peers, uint64(now)); err != nil {
+	if _, err := commitRound(e.be, e.sink, 0, 0, e.cfg.Peers, uint64(tsMs)); err != nil {
 		return fmt.Errorf("bfl: registration block: %w", err)
 	}
 	return nil
@@ -482,6 +502,7 @@ func (e *engine) setup() error {
 			key:        peerKeys[i],
 			client:     client,
 			adopted:    initial,
+			samples:    shards[i].Len(),
 			simTrainMs: float64(shards[i].Len()*cfg.Hyper.LocalEpochs) * perSampleCostMs(cfg.Model) * straggler,
 		}
 		p.agg = core.NewAggregator(name, cfg.Policy, cfg.Filter, client.SelectionEvaluator(), root.Derive("ties-"+name))
@@ -491,6 +512,7 @@ func (e *engine) setup() error {
 			p.agg.WorkerEvals = fl.SelectionEvaluators(cfg.Model, sel, comboWorkers)
 			if cfg.EvalAllCombos {
 				p.testEvals = fl.SelectionEvaluators(cfg.Model, test, comboWorkers)
+				p.testAvgs = fl.NewAveragers(comboWorkers)
 			}
 		}
 		peers[i] = p
@@ -516,21 +538,10 @@ func (e *engine) setup() error {
 	return nil
 }
 
-// runDecentralized is the barriered schedule on the virtual clock:
-// every round, all peers train, the round's submissions commit at the
-// next cadence tick, every peer's policy fires on the shared arrival
-// model (core.FirePolicy), and the decisions commit at the tick after.
-func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend, error) {
-	e, err := newEngine(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := e.register(); err != nil {
-		return nil, nil, err
-	}
-	cfg = e.cfg
-	sink, be, peers, workers := e.sink, e.be, e.peers, e.workers
-
+// newResult builds the per-peer result scaffolding (names, combo row
+// labels, empty round slices) for an assembled engine.
+func (e *engine) newResult() *Result {
+	cfg := e.cfg
 	res := &Result{
 		Config:        cfg,
 		PeerNames:     make([]string, cfg.Peers),
@@ -539,187 +550,222 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 		Rounds:        make([][]RoundStats, cfg.Peers),
 	}
 	names := make([]string, cfg.Peers)
-	for i, p := range peers {
+	for i, p := range e.peers {
 		names[i] = p.name
 		res.PeerNames[i] = p.name
 	}
-	for i := range peers {
+	for i := range e.peers {
 		for _, combo := range fl.PaperCombos(cfg.Peers, i) {
 			res.ComboLabels[i] = append(res.ComboLabels[i], combo.Label(names))
 		}
 	}
+	return res
+}
+
+// runDecentralized is the barriered schedule on the virtual clock:
+// every round, all peers train, the round's submissions commit at the
+// next cadence tick, every peer's policy fires on the shared arrival
+// model (core.FirePolicy), and the decisions commit at the tick after.
+// The round body itself lives in engine.runRound so the sharded
+// orchestrator can drive the identical machinery with timestamps from
+// its own shared clock.
+func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.register(); err != nil {
+		return nil, nil, err
+	}
+	res := e.newResult()
 
 	trainStart := time.Now()
-	verifyRejected := 0
-	for round := 1; round <= cfg.Rounds; round++ {
+	for round := 1; round <= e.cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		sink.Emit(event.RoundStart{Round: round})
-		// 1. Local training (each peer from its adopted weights). Peers
-		// train concurrently: each owns its model and RNG stream, and
-		// each writes only its own result slot.
-		updates := make([]*fl.Update, cfg.Peers)
-		if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
-			if err := peers[i].client.Adopt(peers[i].adopted); err != nil {
-				return err
-			}
-			updates[i] = peers[i].client.LocalTrain(round)
-			return nil
-		}); err != nil {
-			return nil, nil, err
-		}
-		for i, p := range peers {
-			sink.Emit(event.PeerTrained{Round: round, Peer: p.name, Samples: updates[i].NumSamples, SimMs: p.simTrainMs})
-		}
-
-		// 2. Submit signed model transactions; gossip into every peer's
-		// pending set and commit the round's submission block.
-		blobBytes := make([]int, cfg.Peers)
-		for i, p := range peers {
-			blob := nn.EncodeWeights(updates[i].Weights)
-			blobBytes[i] = len(blob)
-			payload := contract.SubmitCallData(uint64(round), uint64(cfg.Model), uint64(updates[i].NumSamples), blob)
-			tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 10_000_000, 1)
-			if err != nil {
-				return nil, nil, err
-			}
-			p.nonce++
-			if err := be.Submit(tx); err != nil {
-				return nil, nil, fmt.Errorf("bfl: round %d submission tx: %w", round, err)
-			}
-		}
-		now, err := e.clock.Advance(e.clockStep)
+		// The barriered clock is a pure metronome (no queued events), so
+		// taking both cadence ticks up front yields the exact timestamps
+		// the historical schedule produced mid-round.
+		subTs, err := e.clock.Advance(e.clockStep)
 		if err != nil {
 			return nil, nil, err
 		}
-		leader := (round - 1) % cfg.Peers
-		subCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now))
+		decTs, err := e.clock.Advance(e.clockStep)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bfl: round %d submission block: %w", round, err)
+			return nil, nil, err
 		}
-		verifyRejected += len(subCommit.Rejected)
-		for i, p := range peers {
-			sink.Emit(event.ModelSubmitted{Round: round, Peer: p.name, Bytes: blobBytes[i]})
+		if err := e.runRound(ctx, res, round, subTs, decTs); err != nil {
+			return nil, nil, err
 		}
+	}
+	res.TrainWallTime = time.Since(trainStart)
+	res.Chain = chainStats(e.be)
+	res.Chain.VerifyRejected = e.verifyRejected
+	return res, e.be, nil
+}
 
-		// 3. Each peer reads the round's submissions from its own chain
-		// view, reconstructs updates, applies its wait policy over the
-		// arrival-time model, decides, and records the decision. Peers
-		// decide concurrently: every peer reads its own chain (chain
-		// reads are lock-protected and side-effect free), mutates only
-		// its own state, and fills index-addressed slots, so the block
-		// assembled below is identical to the sequential run's.
-		decTxs := make([]*chain.Transaction, cfg.Peers)
-		remoteArrival := arrivalTimes(cfg, peers, updates, be.CommitLatencyMs())
-		if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
-			p := peers[i]
-			onChain, err := readUpdates(be, i, round)
-			if err != nil {
-				return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+// runRound executes one full barriered round — train, submit, commit
+// at subTs, policy-gated decisions, commit at decTs — appending each
+// peer's RoundStats (and combo table row) to res.
+func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, decTs float64) error {
+	cfg := e.cfg
+	sink, be, peers, workers := e.sink, e.be, e.peers, e.workers
+
+	sink.Emit(event.RoundStart{Round: round})
+	// 1. Local training (each peer from its adopted weights). Peers
+	// train concurrently: each owns its model and RNG stream, and
+	// each writes only its own result slot.
+	updates := make([]*fl.Update, cfg.Peers)
+	if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
+		if err := peers[i].client.Adopt(peers[i].adopted); err != nil {
+			return err
+		}
+		updates[i] = peers[i].client.LocalTrain(round)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for i, p := range peers {
+		sink.Emit(event.PeerTrained{Round: round, Peer: p.name, Samples: updates[i].NumSamples, SimMs: p.simTrainMs})
+	}
+
+	// 2. Submit signed model transactions; gossip into every peer's
+	// pending set and commit the round's submission block.
+	blobBytes := make([]int, cfg.Peers)
+	for i, p := range peers {
+		blob := nn.EncodeWeights(updates[i].Weights)
+		blobBytes[i] = len(blob)
+		payload := contract.SubmitCallData(uint64(round), uint64(cfg.Model), uint64(updates[i].NumSamples), blob)
+		tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 10_000_000, 1)
+		if err != nil {
+			return err
+		}
+		p.nonce++
+		if err := be.Submit(tx); err != nil {
+			return fmt.Errorf("bfl: round %d submission tx: %w", round, err)
+		}
+	}
+	leader := (round - 1) % cfg.Peers
+	subCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(subTs))
+	if err != nil {
+		return fmt.Errorf("bfl: round %d submission block: %w", round, err)
+	}
+	e.verifyRejected += len(subCommit.Rejected)
+	for i, p := range peers {
+		sink.Emit(event.ModelSubmitted{Round: round, Peer: p.name, Bytes: blobBytes[i]})
+	}
+
+	// 3. Each peer reads the round's submissions from its own chain
+	// view, reconstructs updates, applies its wait policy over the
+	// arrival-time model, decides, and records the decision. Peers
+	// decide concurrently: every peer reads its own chain (chain
+	// reads are lock-protected and side-effect free), mutates only
+	// its own state, and fills index-addressed slots, so the block
+	// assembled below is identical to the sequential run's.
+	decTxs := make([]*chain.Transaction, cfg.Peers)
+	remoteArrival := arrivalTimes(cfg, peers, updates, be.CommitLatencyMs())
+	if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
+		p := peers[i]
+		onChain, err := readUpdates(be, i, round)
+		if err != nil {
+			return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+		}
+		// A peer whose own submission the backend's verification
+		// rejected still aggregates with its local update — a peer
+		// never discards its own model (and Decide requires it).
+		selfOnChain := false
+		for _, u := range onChain {
+			if u.Client == p.name {
+				selfOnChain = true
+				break
 			}
-			// A peer whose own submission the backend's verification
-			// rejected still aggregates with its local update — a peer
-			// never discards its own model (and Decide requires it).
-			selfOnChain := false
-			for _, u := range onChain {
-				if u.Client == p.name {
-					selfOnChain = true
-					break
+		}
+		if !selfOnChain {
+			onChain = append(onChain, updates[i])
+			sort.Slice(onChain, func(a, b int) bool { return onChain[a].Client < onChain[b].Client })
+		}
+		included, waitMs := applyPolicy(cfg.Policy, p.name, p.simTrainMs, onChain, remoteArrival)
+		decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), cfg.Peers)
+		if err != nil {
+			return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
+		}
+		p.adopted = decision.Chosen.Weights
+
+		chosenLabel := comboLabel(decision.Chosen.Combo, decision.KeptClients)
+		stats := RoundStats{
+			Round:          round,
+			Included:       len(included),
+			WaitMs:         waitMs,
+			ChosenCombo:    chosenLabel,
+			ChosenAccuracy: p.client.TestAccuracy(decision.Chosen.Weights),
+			Rejected:       decision.RejectedClients,
+		}
+		res.Rounds[i] = append(res.Rounds[i], stats)
+
+		// Table rows: evaluate every paper combo over the full
+		// update set — independent of the wait policy AND of ledger
+		// verification (which can exclude a peer's update from
+		// onChain), so every labeled row stays defined each round.
+		if cfg.EvalAllCombos {
+			combos := fl.PaperCombos(cfg.Peers, i)
+			row := make([]float64, 0, len(combos))
+			if len(p.testEvals) > 1 {
+				results, err := fl.EvaluateCombosWith(updates, combos, p.testEvals, p.testAvgs)
+				if err != nil {
+					return err
 				}
-			}
-			if !selfOnChain {
-				onChain = append(onChain, updates[i])
-				sort.Slice(onChain, func(a, b int) bool { return onChain[a].Client < onChain[b].Client })
-			}
-			included, waitMs := applyPolicy(cfg.Policy, p.name, p.simTrainMs, onChain, remoteArrival)
-			decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), cfg.Peers)
-			if err != nil {
-				return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
-			}
-			p.adopted = decision.Chosen.Weights
-
-			chosenLabel := comboLabel(decision.Chosen.Combo, decision.KeptClients)
-			stats := RoundStats{
-				Round:          round,
-				Included:       len(included),
-				WaitMs:         waitMs,
-				ChosenCombo:    chosenLabel,
-				ChosenAccuracy: p.client.TestAccuracy(decision.Chosen.Weights),
-				Rejected:       decision.RejectedClients,
-			}
-			res.Rounds[i] = append(res.Rounds[i], stats)
-
-			// Table rows: evaluate every paper combo over the full
-			// update set — independent of the wait policy AND of ledger
-			// verification (which can exclude a peer's update from
-			// onChain), so every labeled row stays defined each round.
-			if cfg.EvalAllCombos {
-				combos := fl.PaperCombos(cfg.Peers, i)
-				row := make([]float64, 0, len(combos))
-				if len(p.testEvals) > 1 {
-					results, err := fl.EvaluateCombosWith(updates, combos, p.testEvals)
+				for _, r := range results {
+					row = append(row, r.Accuracy)
+				}
+			} else {
+				for _, combo := range combos {
+					w, err := p.avg.FedAvg(combo.Pick(updates))
 					if err != nil {
 						return err
 					}
-					for _, r := range results {
-						row = append(row, r.Accuracy)
-					}
-				} else {
-					for _, combo := range combos {
-						w, err := fl.FedAvg(combo.Pick(updates))
-						if err != nil {
-							return err
-						}
-						row = append(row, p.client.TestAccuracy(w))
-					}
+					row = append(row, p.client.TestAccuracy(w))
 				}
-				res.ComboAccuracy[i] = append(res.ComboAccuracy[i], row)
 			}
+			res.ComboAccuracy[i] = append(res.ComboAccuracy[i], row)
+		}
 
-			var rh chain.Hash = sha256.Sum256(nn.EncodeWeights(decision.Chosen.Weights))
-			payload := contract.RecordCallData(uint64(round), chosenLabel, rh, uint64(len(decision.Chosen.Combo)))
-			tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 1_000_000, 1)
-			if err != nil {
-				return err
-			}
-			p.nonce++
-			decTxs[i] = tx
-			return nil
-		}); err != nil {
-			return nil, nil, err
-		}
-		for i, p := range peers {
-			st := res.Rounds[i][len(res.Rounds[i])-1]
-			sink.Emit(event.AggregationDecided{
-				Round:       round,
-				Peer:        p.name,
-				Included:    st.Included,
-				WaitMs:      st.WaitMs,
-				ChosenCombo: st.ChosenCombo,
-				Accuracy:    st.ChosenAccuracy,
-				Rejected:    st.Rejected,
-			})
-		}
-		for _, tx := range decTxs {
-			if err := be.Submit(tx); err != nil {
-				return nil, nil, fmt.Errorf("bfl: round %d decision tx: %w", round, err)
-			}
-		}
-		if now, err = e.clock.Advance(e.clockStep); err != nil {
-			return nil, nil, err
-		}
-		decCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(now))
+		var rh chain.Hash = sha256.Sum256(nn.EncodeWeights(decision.Chosen.Weights))
+		payload := contract.RecordCallData(uint64(round), chosenLabel, rh, uint64(len(decision.Chosen.Combo)))
+		tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 1_000_000, 1)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bfl: round %d decision block: %w", round, err)
+			return err
 		}
-		verifyRejected += len(decCommit.Rejected)
-		sink.Emit(event.RoundEnd{Round: round})
+		p.nonce++
+		decTxs[i] = tx
+		return nil
+	}); err != nil {
+		return err
 	}
-	res.TrainWallTime = time.Since(trainStart)
-	res.Chain = chainStats(be)
-	res.Chain.VerifyRejected = verifyRejected
-	return res, be, nil
+	for i, p := range peers {
+		st := res.Rounds[i][len(res.Rounds[i])-1]
+		sink.Emit(event.AggregationDecided{
+			Round:       round,
+			Peer:        p.name,
+			Included:    st.Included,
+			WaitMs:      st.WaitMs,
+			ChosenCombo: st.ChosenCombo,
+			Accuracy:    st.ChosenAccuracy,
+			Rejected:    st.Rejected,
+		})
+	}
+	for _, tx := range decTxs {
+		if err := be.Submit(tx); err != nil {
+			return fmt.Errorf("bfl: round %d decision tx: %w", round, err)
+		}
+	}
+	decCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(decTs))
+	if err != nil {
+		return fmt.Errorf("bfl: round %d decision block: %w", round, err)
+	}
+	e.verifyRejected += len(decCommit.Rejected)
+	sink.Emit(event.RoundEnd{Round: round})
+	return nil
 }
 
 // commitRound commits everything pending as one batch, requires the

@@ -158,9 +158,12 @@ type Decision struct {
 	// RejectedClients lists updates discarded by the filter.
 	RejectedClients []string
 	// ComboResults holds every evaluated combination, in enumeration
-	// order (the rows of Tables II-IV).
+	// order (the rows of Tables II-IV). Only accuracies: the search
+	// scores combos through reused scratch accumulators, so per-row
+	// Weights stay nil.
 	ComboResults []fl.ComboResult
-	// Chosen is the adopted combination.
+	// Chosen is the adopted combination, with its weight vector
+	// materialized (freshly allocated — callers retain it).
 	Chosen fl.ComboResult
 }
 
@@ -180,6 +183,11 @@ type Aggregator struct {
 	// and agree with Eval, so decisions are bit-identical to the
 	// sequential search. Nil or length 1 keeps the sequential path.
 	WorkerEvals []fl.Evaluator
+
+	// avgs are the per-worker scratch accumulators the combination
+	// search aggregates through, reused across rounds (lazily sized to
+	// the evaluator pool).
+	avgs []*fl.Averager
 
 	rng *xrand.RNG
 }
@@ -225,7 +233,10 @@ func (a *Aggregator) Decide(round int, updates []*fl.Update, waited time.Duratio
 	if len(evals) == 0 {
 		evals = []fl.Evaluator{a.Eval}
 	}
-	results, err := fl.EvaluateCombosWith(kept, combos, evals)
+	if len(a.avgs) < len(evals) {
+		a.avgs = fl.NewAveragers(len(evals))
+	}
+	results, err := fl.EvaluateCombosWith(kept, combos, evals, a.avgs)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s round %d: %w", a.Self, round, err)
 	}
@@ -247,6 +258,16 @@ func (a *Aggregator) Decide(round int, updates []*fl.Update, waited time.Duratio
 	if len(tied) > 1 && a.rng != nil {
 		choice = tied[a.rng.Intn(len(tied))]
 	}
+	// Materialize only the winner's weights: same inputs and
+	// accumulation order as the search's scratch pass, so the vector is
+	// bit-identical — but freshly allocated, because the decision (and
+	// the peer that adopts it) retains it across rounds.
+	chosen := results[choice]
+	w, err := fl.FedAvg(chosen.Combo.Pick(kept))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s round %d: %w", a.Self, round, err)
+	}
+	chosen.Weights = w
 
 	keptNames := make([]string, len(kept))
 	for i, u := range kept {
@@ -259,7 +280,7 @@ func (a *Aggregator) Decide(round int, updates []*fl.Update, waited time.Duratio
 		Expected:     expected,
 		WaitTime:     waited,
 		ComboResults: results,
-		Chosen:       results[choice],
+		Chosen:       chosen,
 	}
 	for _, u := range fres.Rejected {
 		d.RejectedClients = append(d.RejectedClients, u.Client)

@@ -207,6 +207,67 @@ type SweepProgress struct {
 // EventName implements Event.
 func (SweepProgress) EventName() string { return "sweep-progress" }
 
+// ShardRoundEnd reports one completed shard-local aggregation round in
+// the sharded hierarchy: shard Shard finished its round Round at
+// VirtualMs on the shared clock, its slowest peer waited MaxWaitMs
+// (CumWaitMs is the shard's cumulative wait so far), and the shard's
+// peers admitted MeanIncluded updates on average. Policy names the
+// wait policy the round ran under (the adaptive controller swaps it
+// per merge epoch).
+type ShardRoundEnd struct {
+	Shard        int
+	Round        int
+	Policy       string
+	MaxWaitMs    float64
+	CumWaitMs    float64
+	VirtualMs    float64
+	MeanIncluded float64
+}
+
+// EventName implements Event.
+func (ShardRoundEnd) EventName() string { return "shard-round-end" }
+
+// ShardModelCommitted reports a shard publishing its model for
+// cross-shard merging: at the end of merge epoch Epoch (after Round
+// shard rounds) shard Shard's sample-weighted shard model — Samples
+// training samples behind it — scored Accuracy on the held-out global
+// evaluation set.
+type ShardModelCommitted struct {
+	Shard     int
+	Epoch     int
+	Round     int
+	Policy    string
+	Samples   int
+	Accuracy  float64
+	VirtualMs float64
+	CumWaitMs float64
+}
+
+// EventName implements Event.
+func (ShardModelCommitted) EventName() string { return "shard-model-committed" }
+
+// GlobalMerge reports one cross-shard merge producing a global model.
+// Mode is "sync" (barrier: every shard contributed a fresh model and
+// all shards adopt the result) or "async" (shard Shard arrived and
+// merged against every shard's latest model, staleness-weighted; only
+// the arriving shard adopts). Shard is -1 for sync merges. Included
+// counts contributing shard models, Accuracy the global model on the
+// held-out evaluation set, WaitMs the fleet's cumulative policy-wait
+// at the merge (the trade-off study's time axis), VirtualMs the merge
+// instant on the shared clock.
+type GlobalMerge struct {
+	Epoch     int
+	Shard     int
+	Mode      string
+	Included  int
+	Accuracy  float64
+	WaitMs    float64
+	VirtualMs float64
+}
+
+// EventName implements Event.
+func (GlobalMerge) EventName() string { return "global-merge" }
+
 // String renders an event compactly for logs and tests.
 func String(ev Event) string {
 	switch e := ev.(type) {
@@ -238,6 +299,15 @@ func String(ev Event) string {
 			return fmt.Sprintf("%s %d/%d seed=%d %s@%s", e.EventName(), e.Index+1, e.Total, e.Seed, e.Policy, e.Backend)
 		}
 		return fmt.Sprintf("%s %d/%d seed=%d %s", e.EventName(), e.Index+1, e.Total, e.Seed, e.Policy)
+	case ShardRoundEnd:
+		return fmt.Sprintf("%s s%d r%d t=%.0f wait=%.1f n=%.2f", e.EventName(), e.Shard, e.Round, e.VirtualMs, e.MaxWaitMs, e.MeanIncluded)
+	case ShardModelCommitted:
+		return fmt.Sprintf("%s s%d e%d r%d acc=%.4f", e.EventName(), e.Shard, e.Epoch, e.Round, e.Accuracy)
+	case GlobalMerge:
+		if e.Mode == "sync" {
+			return fmt.Sprintf("%s e%d sync n=%d acc=%.4f wait=%.1f", e.EventName(), e.Epoch, e.Included, e.Accuracy, e.WaitMs)
+		}
+		return fmt.Sprintf("%s e%d s%d %s n=%d acc=%.4f wait=%.1f", e.EventName(), e.Epoch, e.Shard, e.Mode, e.Included, e.Accuracy, e.WaitMs)
 	default:
 		return ev.EventName()
 	}

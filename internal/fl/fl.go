@@ -29,64 +29,156 @@ type Update struct {
 	NumSamples int
 }
 
-// FedAvg computes the sample-weighted average of the given updates'
-// weight vectors — McMahan et al.'s aggregation rule, the one the paper
-// uses. It returns an error if the updates are empty or have mismatched
-// lengths.
-func FedAvg(updates []*Update) ([]float32, error) {
+// checkFedAvg validates the updates and returns the weight length and
+// total sample count.
+func checkFedAvg(updates []*Update) (n, total int, err error) {
 	if len(updates) == 0 {
-		return nil, fmt.Errorf("fl: FedAvg of zero updates")
+		return 0, 0, fmt.Errorf("fl: FedAvg of zero updates")
 	}
-	n := len(updates[0].Weights)
-	total := 0
+	n = len(updates[0].Weights)
 	for _, u := range updates {
 		if len(u.Weights) != n {
-			return nil, fmt.Errorf("fl: update %q has %d weights, want %d", u.Client, len(u.Weights), n)
+			return 0, 0, fmt.Errorf("fl: update %q has %d weights, want %d", u.Client, len(u.Weights), n)
 		}
 		if u.NumSamples <= 0 {
-			return nil, fmt.Errorf("fl: update %q has non-positive sample count %d", u.Client, u.NumSamples)
+			return 0, 0, fmt.Errorf("fl: update %q has non-positive sample count %d", u.Client, u.NumSamples)
 		}
 		total += u.NumSamples
 	}
-	out := make([]float32, n)
+	return n, total, nil
+}
+
+// fedAvgInto accumulates the sample-weighted average into out (assumed
+// zeroed, len n).
+func fedAvgInto(out []float32, updates []*Update, total int) {
 	for _, u := range updates {
 		coef := float32(float64(u.NumSamples) / float64(total))
 		tensor.Axpy(coef, u.Weights, out)
 	}
+}
+
+// FedAvg computes the sample-weighted average of the given updates'
+// weight vectors — McMahan et al.'s aggregation rule, the one the paper
+// uses. It returns an error if the updates are empty or have mismatched
+// lengths. The result is freshly allocated (safe to retain); hot loops
+// that aggregate every round should reuse an Averager instead.
+func FedAvg(updates []*Update) ([]float32, error) {
+	n, total, err := checkFedAvg(updates)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	fedAvgInto(out, updates, total)
 	return out, nil
+}
+
+// checkWeightedFedAvg validates updates and coefficients and returns
+// the weight length and coefficient sum.
+func checkWeightedFedAvg(updates []*Update, coef []float64) (n int, total float64, err error) {
+	if len(updates) == 0 {
+		return 0, 0, fmt.Errorf("fl: WeightedFedAvg of zero updates")
+	}
+	if len(coef) != len(updates) {
+		return 0, 0, fmt.Errorf("fl: %d coefficients for %d updates", len(coef), len(updates))
+	}
+	n = len(updates[0].Weights)
+	for i, u := range updates {
+		if len(u.Weights) != n {
+			return 0, 0, fmt.Errorf("fl: update %q has %d weights, want %d", u.Client, len(u.Weights), n)
+		}
+		if coef[i] < 0 {
+			return 0, 0, fmt.Errorf("fl: update %q has negative coefficient %g", u.Client, coef[i])
+		}
+		total += coef[i]
+	}
+	if total <= 0 {
+		return 0, 0, fmt.Errorf("fl: coefficients sum to %g, want positive", total)
+	}
+	return n, total, nil
+}
+
+// weightedFedAvgInto accumulates the normalized weighted average into
+// out (assumed zeroed, len n).
+func weightedFedAvgInto(out []float32, updates []*Update, coef []float64, total float64) {
+	for i, u := range updates {
+		tensor.Axpy(float32(coef[i]/total), u.Weights, out)
+	}
 }
 
 // WeightedFedAvg averages the updates' weight vectors under explicit
 // per-update coefficients — the staleness-weighted merge of the
 // asynchronous engine, where an update's influence decays with its age.
 // Coefficients must be non-negative with a positive sum; they are
-// normalized internally.
+// normalized internally. The result is freshly allocated (safe to
+// retain); see Averager for the scratch-reusing variant.
 func WeightedFedAvg(updates []*Update, coef []float64) ([]float32, error) {
-	if len(updates) == 0 {
-		return nil, fmt.Errorf("fl: WeightedFedAvg of zero updates")
-	}
-	if len(coef) != len(updates) {
-		return nil, fmt.Errorf("fl: %d coefficients for %d updates", len(coef), len(updates))
-	}
-	n := len(updates[0].Weights)
-	var total float64
-	for i, u := range updates {
-		if len(u.Weights) != n {
-			return nil, fmt.Errorf("fl: update %q has %d weights, want %d", u.Client, len(u.Weights), n)
-		}
-		if coef[i] < 0 {
-			return nil, fmt.Errorf("fl: update %q has negative coefficient %g", u.Client, coef[i])
-		}
-		total += coef[i]
-	}
-	if total <= 0 {
-		return nil, fmt.Errorf("fl: coefficients sum to %g, want positive", total)
+	n, total, err := checkWeightedFedAvg(updates, coef)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float32, n)
-	for i, u := range updates {
-		tensor.Axpy(float32(coef[i]/total), u.Weights, out)
-	}
+	weightedFedAvgInto(out, updates, coef, total)
 	return out, nil
+}
+
+// Averager is a FedAvg accumulator that reuses one scratch weight
+// vector across calls, eliminating the per-aggregation allocation the
+// hot paths (combo searches, per-round merges) used to pay. The slice
+// a call returns aliases the scratch: it is valid only until the next
+// call on the same Averager, and callers that retain a result (e.g. to
+// adopt it as a model) must copy it or use the allocating package
+// functions. The zero value is ready to use. Not safe for concurrent
+// use — pools hold one Averager per worker.
+type Averager struct {
+	scratch []float32
+}
+
+// buf returns the zeroed n-element scratch, growing it if needed.
+func (a *Averager) buf(n int) []float32 {
+	if cap(a.scratch) < n {
+		a.scratch = make([]float32, n)
+	}
+	a.scratch = a.scratch[:n]
+	for i := range a.scratch {
+		a.scratch[i] = 0
+	}
+	return a.scratch
+}
+
+// FedAvg is the package-level FedAvg into the reused scratch buffer.
+func (a *Averager) FedAvg(updates []*Update) ([]float32, error) {
+	n, total, err := checkFedAvg(updates)
+	if err != nil {
+		return nil, err
+	}
+	out := a.buf(n)
+	fedAvgInto(out, updates, total)
+	return out, nil
+}
+
+// WeightedFedAvg is the package-level WeightedFedAvg into the reused
+// scratch buffer.
+func (a *Averager) WeightedFedAvg(updates []*Update, coef []float64) ([]float32, error) {
+	n, total, err := checkWeightedFedAvg(updates, coef)
+	if err != nil {
+		return nil, err
+	}
+	out := a.buf(n)
+	weightedFedAvgInto(out, updates, coef, total)
+	return out, nil
+}
+
+// NewAveragers builds n independent scratch accumulators — one per
+// worker of an EvaluateCombosWith pool. n < 1 is treated as 1.
+func NewAveragers(n int) []*Averager {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*Averager, n)
+	for i := range out {
+		out[i] = &Averager{}
+	}
+	return out
 }
 
 // Combo is a set of client indices whose updates are aggregated together.
@@ -194,7 +286,11 @@ func NewAccuracyEvaluator(id nn.ModelID, s *dataset.Set) Evaluator {
 	}
 }
 
-// ComboResult records one evaluated combination.
+// ComboResult records one evaluated combination. The combination
+// searches score combos through per-worker scratch accumulators and
+// leave Weights nil — only a chosen combination's weights are
+// materialized (recomputed with the allocating FedAvg, which is
+// bit-identical: same inputs, same accumulation order).
 type ComboResult struct {
 	Combo    Combo
 	Weights  []float32
@@ -202,9 +298,9 @@ type ComboResult struct {
 }
 
 // EvaluateCombos aggregates each combo with FedAvg and scores it with
-// eval, returning results in the combos' order.
+// eval, returning results in the combos' order (Weights left nil).
 func EvaluateCombos(updates []*Update, combos []Combo, eval Evaluator) ([]ComboResult, error) {
-	return EvaluateCombosWith(updates, combos, []Evaluator{eval})
+	return EvaluateCombosWith(updates, combos, []Evaluator{eval}, nil)
 }
 
 // EvaluateCombosWith is EvaluateCombos with one evaluator per worker:
@@ -214,18 +310,30 @@ func EvaluateCombos(updates []*Update, combos []Combo, eval Evaluator) ([]ComboR
 // pure function of the weight vector, so the output is bit-identical
 // to the sequential EvaluateCombos regardless of scheduling. A single
 // evaluator degenerates to the exact sequential loop.
-func EvaluateCombosWith(updates []*Update, combos []Combo, evals []Evaluator) ([]ComboResult, error) {
+//
+// avgs, when non-nil, must hold at least len(evals) accumulators; each
+// worker then aggregates into its own reused scratch instead of
+// allocating one weight vector per combo (the round-loop hot path).
+// Nil avgs allocates a private pool for the call. Either way the
+// returned results carry accuracies only (Weights nil).
+func EvaluateCombosWith(updates []*Update, combos []Combo, evals []Evaluator, avgs []*Averager) ([]ComboResult, error) {
 	if len(evals) == 0 {
 		return nil, fmt.Errorf("fl: EvaluateCombosWith needs at least one evaluator")
+	}
+	if avgs == nil {
+		avgs = NewAveragers(len(evals))
+	}
+	if len(avgs) < len(evals) {
+		return nil, fmt.Errorf("fl: %d averagers for %d evaluator workers", len(avgs), len(evals))
 	}
 	out := make([]ComboResult, len(combos))
 	err := par.ForEachWorker(len(evals), len(combos), func(worker, i int) error {
 		c := combos[i]
-		w, err := FedAvg(c.Pick(updates))
+		w, err := avgs[worker].FedAvg(c.Pick(updates))
 		if err != nil {
 			return fmt.Errorf("fl: combo %v: %w", c, err)
 		}
-		out[i] = ComboResult{Combo: c, Weights: w, Accuracy: evals[worker](w)}
+		out[i] = ComboResult{Combo: c, Accuracy: evals[worker](w)}
 		return nil
 	})
 	if err != nil {

@@ -402,7 +402,7 @@ func TestEvaluateCombosWithMatchesSequential(t *testing.T) {
 		for i := range evals {
 			evals[i] = eval
 		}
-		got, err := EvaluateCombosWith(ups, combos, evals)
+		got, err := EvaluateCombosWith(ups, combos, evals, NewAveragers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -415,11 +415,11 @@ func TestEvaluateCombosWithMatchesSequential(t *testing.T) {
 func TestEvaluateCombosWithErrors(t *testing.T) {
 	ups := []*Update{upd("A", 1, 1, 0), upd("B", 0, 0, 1)} // B invalid
 	eval := func(w []float32) float64 { return 0 }
-	if _, err := EvaluateCombosWith(ups, AllCombos(2), nil); err == nil {
+	if _, err := EvaluateCombosWith(ups, AllCombos(2), nil, nil); err == nil {
 		t.Fatal("zero evaluators accepted")
 	}
 	evals := []Evaluator{eval, eval}
-	if _, err := EvaluateCombosWith(ups, AllCombos(2), evals); err == nil {
+	if _, err := EvaluateCombosWith(ups, AllCombos(2), evals, nil); err == nil {
 		t.Fatal("invalid update not surfaced by parallel search")
 	}
 }

@@ -221,8 +221,10 @@ func (env *environment) runArm(ctx context.Context, mode AggregationMode) (*ArmR
 	clients := env.buildClients(arm)
 	workers := par.Workers(cfg.Parallelism)
 	// The aggregator's scratch evaluators for the consider search, one
-	// per worker, reused across rounds.
+	// per worker, reused across rounds — paired with per-worker scratch
+	// accumulators so the 2^n-1 combo aggregations allocate nothing.
 	aggEvals := SelectionEvaluators(cfg.Model, env.selection, workers)
+	aggAvgs := NewAveragers(workers)
 	combos := AllCombos(cfg.Clients)
 
 	res := &ArmResult{
@@ -273,12 +275,19 @@ func (env *environment) runArm(ctx context.Context, mode AggregationMode) (*ArmR
 			}
 			res.ChosenCombos = append(res.ChosenCombos, all.Label(names))
 		case ModeConsider:
-			results, err := EvaluateCombosWith(updates, combos, aggEvals)
+			results, err := EvaluateCombosWith(updates, combos, aggEvals, aggAvgs)
 			if err != nil {
 				return nil, err
 			}
 			best := BestCombo(results)
-			global = best.Weights
+			// The search scores through reused scratch; materialize the
+			// winner (retained as next round's global) with the
+			// allocating FedAvg — bit-identical accumulation.
+			w, err := FedAvg(best.Combo.Pick(updates))
+			if err != nil {
+				return nil, err
+			}
+			global = w
 			res.ChosenCombos = append(res.ChosenCombos, best.Combo.Label(names))
 		default:
 			return nil, fmt.Errorf("fl: unknown aggregation mode %v", mode)

@@ -1,0 +1,47 @@
+package shard
+
+import "waitornot/internal/xrand"
+
+// bandit is a deterministic epsilon-greedy controller over a fixed arm
+// set. The first len(arms) picks sweep every arm once in order
+// (round-robin cold start); afterwards each pick explores uniformly
+// with probability eps and otherwise exploits the best running-mean
+// reward (earliest arm wins ties). All draws come from a dedicated
+// derived stream, so the controller's trajectory is a pure function of
+// the seed.
+type bandit struct {
+	eps    float64
+	rng    *xrand.RNG
+	counts []int
+	values []float64 // running mean reward per arm
+}
+
+func newBandit(arms int, eps float64, rng *xrand.RNG) *bandit {
+	return &bandit{eps: eps, rng: rng, counts: make([]int, arms), values: make([]float64, arms)}
+}
+
+// pick returns the arm to run next. It does not record the pick;
+// update does, together with the observed reward.
+func (b *bandit) pick() int {
+	for i, c := range b.counts {
+		if c == 0 {
+			return i
+		}
+	}
+	if b.rng.Float64() < b.eps {
+		return b.rng.Intn(len(b.counts))
+	}
+	best := 0
+	for i := 1; i < len(b.values); i++ {
+		if b.values[i] > b.values[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// update folds one observed reward into the arm's running mean.
+func (b *bandit) update(arm int, reward float64) {
+	b.counts[arm]++
+	b.values[arm] += (reward - b.values[arm]) / float64(b.counts[arm])
+}

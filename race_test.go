@@ -275,3 +275,38 @@ func TestRaceSmokeAsync(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestRaceSmokeSharded(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         4,
+		Rounds:          2,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		StragglerFactor: []float64{1, 1, 1, 3},
+		CommitLatency:   true,
+		MergeMode:       waitornot.MergeAsync,
+		AdaptiveShards:  true,
+		Parallelism:     8,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := waitornot.New(opts, waitornot.WithShards(2),
+				waitornot.WithObserverFunc(func(waitornot.Event) {})).Run(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Sharded == nil || len(res.Sharded.Shards) != 2 || len(res.Sharded.Merges) == 0 {
+				t.Errorf("sharded report shape off: %+v", res.Sharded)
+			}
+		}()
+	}
+	wg.Wait()
+}

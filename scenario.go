@@ -37,6 +37,12 @@ type Scenario struct {
 	// reports mean ± 95% CI per cell. Run ignores it (a scenario stays
 	// runnable as a single-seed experiment at Options.Seed).
 	Seeds []uint64
+	// ShardCounts / MergeCadences are the KindSharded sweep axes (see
+	// WithShardCounts / WithMergeCadences): RunSweep spans backend ×
+	// shard count × merge cadence. Nil collapses each axis to the
+	// scenario's single configured value. Ignored by the other kinds.
+	ShardCounts   []int
+	MergeCadences []int
 }
 
 // Experiment builds an Experiment from the scenario plus overrides
@@ -63,7 +69,7 @@ func RegisterScenario(s Scenario) error {
 		return fmt.Errorf("waitornot: scenario needs a name")
 	}
 	switch s.Kind {
-	case KindVanilla, KindDecentralized, KindTradeoff, KindAsync:
+	case KindVanilla, KindDecentralized, KindTradeoff, KindAsync, KindSharded:
 	default:
 		return fmt.Errorf("waitornot: scenario %q: unknown kind %v", s.Name, s.Kind)
 	}
@@ -80,6 +86,18 @@ func RegisterScenario(s Scenario) error {
 		probe.Backend = b
 		if err := probe.Validate(); err != nil {
 			return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
+		}
+	}
+	for _, n := range s.ShardCounts {
+		probe := s.Options
+		probe.Shards = n
+		if err := probe.Validate(); err != nil {
+			return fmt.Errorf("waitornot: scenario %q: %w", s.Name, err)
+		}
+	}
+	for _, m := range s.MergeCadences {
+		if m < 1 {
+			return fmt.Errorf("waitornot: scenario %q: merge cadence %d < 1", s.Name, m)
 		}
 	}
 	seen := map[uint64]bool{}
@@ -221,6 +239,39 @@ func init() {
 			CommitLatency:   true,
 			SkipComboTables: true,
 		},
+	})
+	MustRegisterScenario(Scenario{
+		Name: "sharded-hierarchy",
+		Description: "sharded multi-aggregator hierarchy: 8 peers across shard counts {2,4} x " +
+			"merge cadences {1,2} x {poa,instant} ledgers, mean ± 95% CI over 3 seeds",
+		Kind: KindSharded,
+		Options: Options{
+			Clients:         8,
+			Shards:          2,
+			CommitLatency:   true,
+			SkipComboTables: true,
+			StragglerFactor: []float64{1, 1, 1, 1, 1, 1, 1, 3},
+		},
+		Backends:      []string{"poa", "instant"},
+		ShardCounts:   []int{2, 4},
+		MergeCadences: []int{1, 2},
+		Seeds:         []uint64{1, 2, 3},
+	})
+	MustRegisterScenario(Scenario{
+		Name: "adaptive-shards",
+		Description: "sharded hierarchy with the epsilon-greedy wait-policy controller: each shard " +
+			"re-picks its policy per merge epoch, one shard carrying a 3x straggler",
+		Kind: KindSharded,
+		Options: Options{
+			Clients:         8,
+			Shards:          2,
+			MergeCadence:    1,
+			AdaptiveShards:  true,
+			CommitLatency:   true,
+			SkipComboTables: true,
+			StragglerFactor: []float64{1, 1, 1, 1, 1, 1, 1, 3},
+		},
+		Policies: DefaultPolicies(4),
 	})
 	MustRegisterScenario(Scenario{
 		Name:        "async-ladder",

@@ -1,0 +1,322 @@
+package waitornot
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"waitornot/internal/bfl"
+	"waitornot/internal/core"
+	"waitornot/internal/event"
+	"waitornot/internal/metrics"
+	"waitornot/internal/shard"
+)
+
+// MergeMode selects how a KindSharded run folds shard models into the
+// global model.
+type MergeMode int
+
+const (
+	// MergeSync barriers every MergeCadence shard rounds: all shards
+	// publish, the models are FedAvg-folded, every shard adopts.
+	MergeSync MergeMode = iota
+	// MergeAsync merges on each shard's arrival, staleness-weighted;
+	// only the arriving shard adopts — fast shards never wait.
+	MergeAsync
+)
+
+// String implements fmt.Stringer ("sync" / "async").
+func (m MergeMode) String() string { return m.internal().String() }
+
+func (m MergeMode) internal() shard.MergeMode {
+	if m == MergeAsync {
+		return shard.MergeAsync
+	}
+	return shard.MergeSync
+}
+
+// ShardRoundInfo is one shard-level aggregation round of a KindSharded
+// run: the shard's slowest-peer policy wait, its cumulative wait, and
+// the round's decision-commit instant on the shared virtual clock.
+type ShardRoundInfo struct {
+	Round        int
+	Policy       string
+	MaxWaitMs    float64
+	CumWaitMs    float64
+	VirtualMs    float64
+	MeanIncluded float64
+}
+
+// ShardSummary is one shard's complete record: its slice of the fleet,
+// its ledger, its rounds, and its inner per-peer result.
+type ShardSummary struct {
+	Index   int
+	Peers   int
+	Backend string
+	Seed    uint64
+	// Samples is the shard's summed training-set size — its FedAvg
+	// weight in every cross-shard merge.
+	Samples int
+	Rounds  []ShardRoundInfo
+	// Policies lists the wait policy used in each merge epoch (a single
+	// entry when the adaptive controller is off).
+	Policies []string
+	// FinalAccuracy is the shard's last published model on the held-out
+	// global evaluation set; CumWaitMs its total policy wait.
+	FinalAccuracy float64
+	CumWaitMs     float64
+	// PeerRounds[peer][round-1] is the shard's inner per-peer record —
+	// the same shape a flat decentralized run reports.
+	PeerRounds [][]RoundInfo
+	// Chain summarizes the shard's own ledger footprint.
+	Chain ChainSummary
+}
+
+// MergePoint records one cross-shard merge: the global model's
+// accuracy on the evaluation set at the fleet's cumulative policy wait
+// (the trade-off study's time axis) and virtual instant.
+type MergePoint struct {
+	Epoch int
+	// Shard is the arriving shard for async merges, -1 for sync
+	// barriers.
+	Shard    int
+	Mode     string
+	Included int
+	Accuracy float64
+	WaitMs   float64
+	// VirtualMs is the merge instant on the shared clock.
+	VirtualMs float64
+}
+
+// ShardedReport is the sharded hierarchy's output: per-shard round
+// records and ledger footprints, the cross-shard merge trajectory, and
+// the global model's accuracy curve on the fleet's wait axis.
+type ShardedReport struct {
+	// InitialAccuracy is the shared starting model on the global
+	// evaluation set (the t=0 point); FinalAccuracy the last merge's
+	// global model.
+	InitialAccuracy float64
+	FinalAccuracy   float64
+	Shards          []ShardSummary
+	Merges          []MergePoint
+	// HorizonMs is the virtual instant the last shard finished.
+	HorizonMs float64
+}
+
+// RunSharded executes the sharded multi-aggregator hierarchy. It is a
+// thin wrapper over the Experiment API; use New(...).Run(ctx) for
+// cancellation and the streaming event layer.
+func RunSharded(opts Options) (*ShardedReport, error) {
+	res, err := New(opts, WithKind(KindSharded)).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Sharded, nil
+}
+
+// sharded lowers the public options to the engine's hierarchy config.
+// The adaptive ladder comes from the experiment's policies (nil =
+// DefaultPolicies for the smallest shard).
+func (o Options) sharded(policies []Policy) shard.Config {
+	o = o.withDefaults()
+	cfg := shard.Config{
+		Base:       o.decentralized(),
+		Shards:     o.Shards,
+		Backends:   o.ShardBackends,
+		MergeEvery: o.MergeCadence,
+		Mode:       o.MergeMode.internal(),
+		Adaptive:   o.AdaptiveShards,
+	}
+	cfg.Base.EvalAllCombos = false // combo tables are a flat-run concern
+	if o.AdaptiveShards {
+		if policies == nil {
+			shards := cfg.Shards
+			if shards == 0 {
+				shards = 2
+			}
+			peers := cfg.Base.Peers
+			if peers == 0 {
+				peers = 3
+			}
+			policies = DefaultPolicies(peers / shards)
+		}
+		ladder := make([]core.WaitPolicy, len(policies))
+		for i, p := range policies {
+			ladder[i] = p.internal()
+		}
+		cfg.Policies = ladder
+	}
+	return cfg
+}
+
+// runShardedExperiment is the engine-facing sharded runner behind
+// Experiment.Run.
+func runShardedExperiment(ctx context.Context, opts Options, policies []Policy, sink event.Sink) (*ShardedReport, error) {
+	cfg := opts.sharded(policies)
+	cfg.Events = sink
+	res, err := shard.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ShardedReport{
+		InitialAccuracy: res.InitialAccuracy,
+		FinalAccuracy:   res.FinalAccuracy,
+		HorizonMs:       res.HorizonMs,
+	}
+	for _, s := range res.Shards {
+		sum := ShardSummary{
+			Index:         s.Index,
+			Peers:         s.Peers,
+			Backend:       s.Backend,
+			Seed:          s.Seed,
+			Samples:       s.Samples,
+			Policies:      s.Policies,
+			FinalAccuracy: s.FinalAccuracy,
+			CumWaitMs:     s.CumWaitMs,
+			Chain:         chainSummary(s.Flat.Chain),
+		}
+		for _, ra := range s.Rounds {
+			sum.Rounds = append(sum.Rounds, ShardRoundInfo{
+				Round:        ra.Round,
+				Policy:       ra.Policy,
+				MaxWaitMs:    ra.MaxWaitMs,
+				CumWaitMs:    ra.CumWaitMs,
+				VirtualMs:    ra.VirtualMs,
+				MeanIncluded: ra.MeanIncluded,
+			})
+		}
+		sum.PeerRounds = make([][]RoundInfo, len(s.Flat.Rounds))
+		for p, rounds := range s.Flat.Rounds {
+			for _, rs := range rounds {
+				sum.PeerRounds[p] = append(sum.PeerRounds[p], RoundInfo{
+					Round:          rs.Round,
+					Included:       rs.Included,
+					WaitMs:         rs.WaitMs,
+					ChosenCombo:    rs.ChosenCombo,
+					ChosenAccuracy: rs.ChosenAccuracy,
+					Rejected:       rs.Rejected,
+				})
+			}
+		}
+		rep.Shards = append(rep.Shards, sum)
+	}
+	for _, m := range res.Merges {
+		rep.Merges = append(rep.Merges, MergePoint{
+			Epoch:     m.Epoch,
+			Shard:     m.Shard,
+			Mode:      m.Mode,
+			Included:  m.Included,
+			Accuracy:  m.Accuracy,
+			WaitMs:    m.WaitMs,
+			VirtualMs: m.VirtualMs,
+		})
+	}
+	return rep, nil
+}
+
+// chainSummary lifts the engine's chain footprint into the public
+// report shape.
+func chainSummary(c bfl.ChainStats) ChainSummary {
+	return ChainSummary{
+		Blocks:         c.Blocks,
+		Txs:            c.Txs,
+		GasUsed:        c.GasUsed,
+		Bytes:          c.Bytes,
+		Submissions:    c.Submissions,
+		Decisions:      c.Decisions,
+		VerifyRejected: c.VerifyRejected,
+	}
+}
+
+// Headline reduces the report to the trade-off study's three headline
+// metrics — the final global accuracy, and the mean per-shard-round
+// policy wait and included-model count — making sharded cells directly
+// comparable to (and sweepable alongside) the other kinds.
+func (r *ShardedReport) Headline() (finalAccuracy, meanWaitMs, meanIncluded float64) {
+	finalAccuracy = r.FinalAccuracy
+	var wait, included float64
+	n := 0
+	for _, s := range r.Shards {
+		for _, ra := range s.Rounds {
+			wait += ra.MaxWaitMs
+			included += ra.MeanIncluded
+			n++
+		}
+	}
+	if n > 0 {
+		meanWaitMs = wait / float64(n)
+		meanIncluded = included / float64(n)
+	}
+	return finalAccuracy, meanWaitMs, meanIncluded
+}
+
+// TimeToAccuracyMs returns the fleet's cumulative policy wait at which
+// the global model first reached target — walking the merge trajectory
+// from the t=0 initial point — or -1 if no merge got there. The wait
+// axis (not the raw virtual clock) is the trade-off study's time axis,
+// so sharded cells compare against flat policies on equal terms.
+func (r *ShardedReport) TimeToAccuracyMs(target float64) float64 {
+	if r.InitialAccuracy >= target {
+		return 0
+	}
+	for _, m := range r.Merges {
+		if m.Accuracy >= target {
+			return m.WaitMs
+		}
+	}
+	return -1
+}
+
+// Table renders every shard's round schedule.
+func (r *ShardedReport) Table() string {
+	tab := metrics.NewTable(
+		"Sharded hierarchy: per-shard rounds on the shared virtual clock",
+		"shard", "backend", "round", "policy", "wait (ms)", "cum wait (ms)", "t (ms)", "models")
+	for _, s := range r.Shards {
+		for _, ra := range s.Rounds {
+			tab.Add(fmt.Sprint(s.Index), s.Backend, fmt.Sprint(ra.Round), ra.Policy,
+				fmt.Sprintf("%.1f", ra.MaxWaitMs), fmt.Sprintf("%.1f", ra.CumWaitMs),
+				fmt.Sprintf("%.0f", ra.VirtualMs), fmt.Sprintf("%.2f", ra.MeanIncluded))
+		}
+	}
+	return tab.ASCII()
+}
+
+// MergeTable renders the cross-shard merge trajectory.
+func (r *ShardedReport) MergeTable() string {
+	tab := metrics.NewTable(
+		"Cross-shard merges: global model on the fleet wait axis",
+		"epoch", "mode", "shard", "models", "accuracy", "wait (ms)", "t (ms)")
+	for _, m := range r.Merges {
+		who := "all"
+		if m.Shard >= 0 {
+			who = fmt.Sprint(m.Shard)
+		}
+		tab.Add(fmt.Sprint(m.Epoch), m.Mode, who, fmt.Sprint(m.Included),
+			metrics.Acc(m.Accuracy), fmt.Sprintf("%.1f", m.WaitMs), fmt.Sprintf("%.0f", m.VirtualMs))
+	}
+	return tab.ASCII()
+}
+
+// CSV renders the merge trajectory machine-readably.
+func (r *ShardedReport) CSV() string {
+	tab := metrics.NewTable("", "epoch", "mode", "shard", "included", "accuracy", "wait_ms", "virtual_ms")
+	for _, m := range r.Merges {
+		tab.Add(fmt.Sprint(m.Epoch), m.Mode, fmt.Sprint(m.Shard), fmt.Sprint(m.Included),
+			fmt.Sprintf("%g", m.Accuracy), fmt.Sprintf("%g", m.WaitMs), fmt.Sprintf("%g", m.VirtualMs))
+	}
+	return tab.CSV()
+}
+
+// Summary renders a one-paragraph digest for CLI output.
+func (r *ShardedReport) Summary() string {
+	var b strings.Builder
+	backends := make([]string, len(r.Shards))
+	for i, s := range r.Shards {
+		backends[i] = s.Backend
+	}
+	fmt.Fprintf(&b, "sharded hierarchy: %d shards (%s), %d merges, accuracy %s -> %s over %.1f virtual ms",
+		len(r.Shards), strings.Join(backends, ", "), len(r.Merges),
+		metrics.Acc(r.InitialAccuracy), metrics.Acc(r.FinalAccuracy), r.HorizonMs)
+	return b.String()
+}

@@ -30,6 +30,13 @@ type SweepOptions struct {
 	// there. 0 keeps the classic three-metric sweep (and its exact
 	// report bytes).
 	TargetAccuracy float64
+	// ShardCounts / MergeCadences are the KindSharded sweep axes: each
+	// (backend × shard count × merge cadence) combination becomes one
+	// cell, labeled "S=<shards>/M=<cadence>" in the policy column.
+	// Empty axes collapse to the experiment's single configured value.
+	// Ignored by the other kinds.
+	ShardCounts   []int
+	MergeCadences []int
 }
 
 // seedList resolves the effective seed list, validating it.
@@ -150,9 +157,12 @@ type SweepReport struct {
 // interleave across concurrent replications).
 //
 // KindTradeoff sweeps the full policy × backend ladder per seed;
-// KindDecentralized sweeps the single configured policy and backend.
-// KindVanilla has no wait/latency semantics and is rejected. Combo
-// tables are always skipped: the sweep consumes only headline metrics.
+// KindDecentralized sweeps the single configured policy and backend;
+// KindSharded sweeps hierarchy topology instead — backend × shard
+// count × merge cadence (WithShardCounts / WithMergeCadences), each
+// cell labeled "S=<shards>/M=<cadence>". KindVanilla has no
+// wait/latency semantics and is rejected. Combo tables are always
+// skipped: the sweep consumes only headline metrics.
 func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	if e.err != nil {
 		return nil, e.err
@@ -167,8 +177,18 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	if t := e.sweep.TargetAccuracy; t < 0 || t > 1 {
 		return nil, fmt.Errorf("waitornot: target accuracy %g outside [0, 1]", t)
 	}
+	// A variant is one per-backend cell axis value: a wait policy for
+	// the classic kinds, a shard-count × merge-cadence combination for
+	// KindSharded. The variant's label keys the cell (the grid and the
+	// report's policy column), so classic sweeps keep their exact cell
+	// names and byte-identical reports.
+	type variant struct {
+		label           string
+		policy          Policy
+		shards, cadence int
+	}
 	var (
-		policies []Policy
+		variants []variant
 		backends []string
 	)
 	switch e.kind {
@@ -176,7 +196,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 		// KindAsync sweeps the same policy × backend ladder, with each
 		// cell an un-barriered run — the "async ladder" the virtual
 		// clock unlocks.
-		policies = e.policies
+		policies := e.policies
 		if policies == nil {
 			n := e.opts.Clients
 			if n == 0 {
@@ -188,16 +208,60 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			if err := p.Validate(); err != nil {
 				return nil, err
 			}
+			variants = append(variants, variant{label: p.Name(), policy: p})
 		}
 		backends = e.backends
 		if len(backends) == 0 {
 			backends = []string{e.opts.Backend}
 		}
 	case KindDecentralized:
-		policies = []Policy{e.opts.Policy}
+		variants = []variant{{label: e.opts.Policy.Name(), policy: e.opts.Policy}}
 		backends = []string{e.opts.Backend}
+	case KindSharded:
+		// The sharded sweep's per-backend axes are topology, not wait
+		// policy: shard count × merge cadence, each cell one hierarchy.
+		shardCounts := e.sweep.ShardCounts
+		if len(shardCounts) == 0 {
+			n := e.opts.Shards
+			if n == 0 {
+				n = 2
+			}
+			shardCounts = []int{n}
+		}
+		cadences := e.sweep.MergeCadences
+		if len(cadences) == 0 {
+			m := e.opts.MergeCadence
+			if m == 0 {
+				m = 1
+			}
+			cadences = []int{m}
+		}
+		clients := e.opts.Clients
+		if clients == 0 {
+			clients = 3
+		}
+		for _, s := range shardCounts {
+			if s < 1 || clients/s < 2 {
+				return nil, fmt.Errorf("waitornot: sweep shard count %d leaves a shard with fewer than 2 of %d clients", s, clients)
+			}
+			for _, m := range cadences {
+				if m < 1 {
+					return nil, fmt.Errorf("waitornot: sweep merge cadence %d < 1", m)
+				}
+				variants = append(variants, variant{
+					label:   fmt.Sprintf("S=%d/M=%d", s, m),
+					policy:  e.opts.Policy,
+					shards:  s,
+					cadence: m,
+				})
+			}
+		}
+		backends = e.backends
+		if len(backends) == 0 {
+			backends = []string{e.opts.Backend}
+		}
 	default:
-		return nil, fmt.Errorf("waitornot: %v experiments cannot be swept (no wait/latency metrics); use KindTradeoff, KindAsync, or KindDecentralized", e.kind)
+		return nil, fmt.Errorf("waitornot: %v experiments cannot be swept (no wait/latency metrics); use KindTradeoff, KindAsync, KindSharded, or KindDecentralized", e.kind)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -205,7 +269,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 
 	opts := e.opts.withDefaults()
 	opts.SkipComboTables = true
-	cells := len(backends) * len(policies)
+	cells := len(backends) * len(variants)
 	total := len(seeds) * cells
 	workers := par.Workers(opts.Parallelism)
 	if inner := workers / max(1, total); inner >= 1 {
@@ -217,15 +281,16 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	target := e.sweep.TargetAccuracy
 	kind := e.kind
 	emit := newOrderedEmitter(observerSink(e.observer))
+	ladder := e.policies
 	runs, err := par.MapCtx(ctx, workers, total, func(i int) (SweepRun, error) {
 		seed := seeds[i/cells]
-		b := backends[(i%cells)/len(policies)]
-		p := policies[i%len(policies)]
+		b := backends[(i%cells)/len(variants)]
+		v := variants[i%len(variants)]
 		o := opts
 		o.Seed = seed
 		o.Backend = b
-		o.Policy = p
-		// Both report types expose the same headline reduction; only
+		o.Policy = v.policy
+		// Every report type exposes the same headline reduction; only
 		// the runner differs per kind.
 		var (
 			rep interface {
@@ -234,13 +299,19 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			}
 			err error
 		)
-		if kind == KindAsync {
+		switch kind {
+		case KindAsync:
 			rep, err = runAsyncExperiment(ctx, o, nil)
-		} else {
+		case KindSharded:
+			o.Shards = v.shards
+			o.MergeCadence = v.cadence
+			o.ShardBackends = nil // the backend axis assigns all shards at once
+			rep, err = runShardedExperiment(ctx, o, ladder, nil)
+		default:
 			rep, err = runDecentralizedExperiment(ctx, o, nil)
 		}
 		if err != nil {
-			return SweepRun{}, fmt.Errorf("seed %d policy %s backend %q: %w", seed, p.Name(), b, err)
+			return SweepRun{}, fmt.Errorf("seed %d cell %s backend %q: %w", seed, v.label, b, err)
 		}
 		acc, wait, included := rep.Headline()
 		var tta *float64
@@ -250,7 +321,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 		}
 		run := SweepRun{
 			Seed:          seed,
-			Policy:        p.Name(),
+			Policy:        v.label,
 			Backend:       b,
 			FinalAccuracy: acc,
 			MeanWaitMs:    wait,
@@ -290,8 +361,8 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	}
 	rep := &SweepReport{Model: opts.Model, Scenario: e.scenario, Seeds: seeds, TargetAccuracy: target, Runs: runs}
 	for _, b := range backends {
-		for _, p := range policies {
-			cell := SweepCell{Policy: p.Name(), Backend: b}
+		for _, v := range variants {
+			cell := SweepCell{Policy: v.label, Backend: b}
 			if w, ok := grid.Cell(cell.Policy, b, "accuracy"); ok {
 				cell.Accuracy = summaryOf(w)
 			}

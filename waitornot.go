@@ -249,6 +249,25 @@ type Options struct {
 	// committee is a latency-model parameter, not a participant count.
 	Validators int
 
+	// Shards partitions the fleet into this many contiguous shards for
+	// KindSharded, each running its own aggregation loop against its
+	// own ledger (0 = the engine default of 2 when the kind is
+	// sharded). Every shard needs at least 2 clients.
+	Shards int
+	// ShardBackends assigns each shard's consensus backend: empty =
+	// every shard on Backend, one entry = every shard on it, Shards
+	// entries = per-shard assignment.
+	ShardBackends []string
+	// MergeCadence is the cross-shard merge period in shard rounds
+	// (0 = 1; the final round always merges).
+	MergeCadence int
+	// MergeMode selects the cross-shard merge discipline (default
+	// MergeSync, the barrier).
+	MergeMode MergeMode
+	// AdaptiveShards enables the per-shard epsilon-greedy wait-policy
+	// controller (see WithAdaptiveShards).
+	AdaptiveShards bool
+
 	// ComputeDist, when set, draws a per-peer per-round multiplier on
 	// the modeled training duration (heterogeneous compute) from this
 	// distribution. KindAsync only; the barriered kinds keep the fixed
@@ -302,6 +321,37 @@ func (o Options) Validate() error {
 		if _, ok := ledger.Lookup(o.Backend); !ok {
 			return fmt.Errorf("waitornot: unknown backend %q (registered: %s)",
 				o.Backend, strings.Join(ledger.Names(), ", "))
+		}
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("waitornot: negative shard count %d", o.Shards)
+	}
+	if o.MergeCadence < 0 {
+		return fmt.Errorf("waitornot: negative merge cadence %d", o.MergeCadence)
+	}
+	if o.MergeMode != MergeSync && o.MergeMode != MergeAsync {
+		return fmt.Errorf("waitornot: unknown merge mode %d", int(o.MergeMode))
+	}
+	if o.Shards > 0 {
+		clients := o.Clients
+		if clients == 0 {
+			clients = 3
+		}
+		if clients/o.Shards < 2 {
+			return fmt.Errorf("waitornot: %d clients across %d shards leaves a shard with fewer than 2 clients",
+				clients, o.Shards)
+		}
+		switch len(o.ShardBackends) {
+		case 0, 1, o.Shards:
+		default:
+			return fmt.Errorf("waitornot: %d shard backends for %d shards (want 0, 1, or %d)",
+				len(o.ShardBackends), o.Shards, o.Shards)
+		}
+		for _, name := range o.ShardBackends {
+			if _, ok := ledger.Lookup(name); !ok {
+				return fmt.Errorf("waitornot: unknown shard backend %q (registered: %s)",
+					name, strings.Join(ledger.Names(), ", "))
+			}
 		}
 	}
 	if o.Validators != 0 && o.Validators < latmodel.MinValidators {
