@@ -680,3 +680,46 @@ func BenchmarkShardScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaignOverhead prices durability: the same 8-cell
+// replication sweep run in-memory (RunSweep) and as a persisted
+// campaign (RunCampaign into a fresh directory — one fsync'd JSONL
+// record per cell). overhead-pct is the campaign's extra wall-clock as
+// a percentage of the in-memory sweep; the persistence layer targets
+// under 5% on any workload big enough to be worth persisting.
+func BenchmarkCampaignOverhead(b *testing.B) {
+	opts := benchOpts(waitornot.SimpleNN)
+	opts.Rounds = 1
+	opts.SkipComboTables = true
+	opts.StragglerFactor = []float64{1, 1, 3}
+	opts.CommitLatency = true
+	opts.Parallelism = 1
+	exp := func() *waitornot.Experiment {
+		return waitornot.New(opts,
+			waitornot.WithKind(waitornot.KindTradeoff),
+			waitornot.WithPolicies(waitornot.Policy{Kind: waitornot.WaitAll}, waitornot.Policy{Kind: waitornot.FirstK, K: 1}),
+			waitornot.WithBackends("pow", "instant"),
+			waitornot.WithSeeds(1, 2))
+	}
+
+	var sweepWall, campaignWall time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := exp().RunSweep(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		sweepWall += time.Since(start)
+
+		dir := b.TempDir()
+		start = time.Now()
+		if _, err := exp().RunCampaign(context.Background(), dir); err != nil {
+			b.Fatal(err)
+		}
+		campaignWall += time.Since(start)
+	}
+	b.ReportMetric(sweepWall.Seconds()/float64(b.N), "sweep-sec/op")
+	b.ReportMetric(campaignWall.Seconds()/float64(b.N), "campaign-sec/op")
+	if sweepWall > 0 {
+		b.ReportMetric(100*(float64(campaignWall)-float64(sweepWall))/float64(sweepWall), "overhead-pct")
+	}
+}

@@ -26,6 +26,14 @@
 // with -scenario it replicates that scenario (scenarios may also
 // declare their own seed list, e.g. replicated-tradeoff).
 //
+// Campaigns: -campaign-dir DIR makes a sweep durable — every completed
+// cell is fsync'd to DIR/results.jsonl as it lands, so a run killed at
+// any instant resumes with -resume, recomputing only the missing cells
+// and printing tables byte-identical to an uninterrupted run (at any
+// -parallel). -campaign-status prints a campaign's progress and the
+// partial mean ± CI table over the cells landed so far, even while
+// another process is still appending.
+//
 // Model selection: -model simple|effnet|both. Add -fast for a reduced
 // (smoke-test) scale, and -csv to emit machine-readable grids as well.
 // -parallel N bounds the engine's worker pools (0 = all cores, 1 =
@@ -72,6 +80,9 @@ func main() {
 		clients     = flag.Int("clients", 0, "fleet size for -shards (0 = 4 clients per shard; every shard needs >= 2)")
 		mergeEvery  = flag.Int("merge-every", 0, "cross-shard merge cadence in shard rounds for -shards (0 = every round)")
 		mergeMode   = flag.String("merge-mode", "sync", "cross-shard merge discipline for -shards: sync (barrier) or async (staleness-weighted, on arrival)")
+		campaignDir = flag.String("campaign-dir", "", "persist the sweep as a durable campaign in this directory (fsync'd JSONL per cell; resumable)")
+		resume      = flag.Bool("resume", false, "resume the campaign in -campaign-dir, recomputing only the cells missing from its log")
+		status      = flag.Bool("campaign-status", false, "print the campaign in -campaign-dir (progress + partial mean ± CI table) and exit")
 	)
 	flag.Parse()
 
@@ -127,6 +138,22 @@ func main() {
 		fatalUsage(fmt.Sprintf("-clients %d leaves a shard with fewer than 2 clients across %d shards", *clients, *shards))
 	case *shards > 0 && *clients > 0 && *shards > *clients:
 		fatalUsage(fmt.Sprintf("-shards %d exceeds the %d-client fleet", *shards, *clients))
+	case *resume && *campaignDir == "":
+		fatalUsage("-resume continues a campaign; say which one with -campaign-dir")
+	case *status && *campaignDir == "":
+		fatalUsage("-campaign-status inspects a campaign; say which one with -campaign-dir")
+	case *status && *resume:
+		fatalUsage("-campaign-status only inspects; drop -resume (or drop -campaign-status to continue the run)")
+	case *status && (sweeping || *scenario != "" || set["exp"]):
+		fatalUsage("-campaign-status reads everything from the campaign directory; drop the run-selection flags")
+	case *campaignDir != "" && set["exp"]:
+		fatalUsage("a campaign persists a replication sweep; -exp grids are single runs (use -seeds/-replications, or a seeded -scenario)")
+	case *campaignDir != "" && *shards > 0:
+		fatalUsage("-shards is a single run; campaigns persist replication sweeps (use -scenario sharded-hierarchy with -campaign-dir)")
+	case *campaignDir != "" && !*status && !sweeping && *scenario == "":
+		fatalUsage("a campaign persists a replication sweep; add -seeds or -replications (or a -scenario that declares seeds)")
+	case *campaignDir != "" && !*status && *scenario == "" && *model == "both":
+		fatalUsage("a campaign directory holds one grid; pick -model simple or -model effnet")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -146,6 +173,14 @@ func main() {
 		}
 		return
 	}
+	if *status {
+		st, err := waitornot.LoadCampaign(*campaignDir)
+		if err != nil {
+			fatal(err)
+		}
+		printCampaignStatus(st)
+		return
+	}
 	if *calibrate {
 		rep, err := waitornot.CalibratePBFT(waitornot.PBFTCalibrationConfig{
 			Seed:        *seed,
@@ -161,7 +196,7 @@ func main() {
 	}
 	if *scenario != "" {
 		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream, *csv,
-			sweepSeeds, *repsFlag, set["time-budget-ms"], *timeBudget, *targetAcc)
+			sweepSeeds, *repsFlag, set["time-budget-ms"], *timeBudget, *targetAcc, *campaignDir, *resume)
 		return
 	}
 
@@ -240,7 +275,7 @@ func main() {
 				if !*noStream {
 					expOpts = append(expOpts, waitornot.WithObserverFunc(printEvent))
 				}
-				printSweep(ctx, waitornot.New(o, expOpts...), *csv)
+				printSweep(ctx, waitornot.New(o, expOpts...), *csv, *campaignDir, *resume)
 			}
 		})
 		return
@@ -376,7 +411,7 @@ func main() {
 // API — streaming its typed progress events — and prints the report
 // matching the scenario's kind. A scenario that declares Seeds (or an
 // explicit -seeds/-replications flag) runs as a replication sweep.
-func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream, csv bool, sweepSeeds []uint64, reps int, budgetSet bool, budget, targetAcc float64) {
+func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream, csv bool, sweepSeeds []uint64, reps int, budgetSet bool, budget, targetAcc float64, campaignDir string, resume bool) {
 	sc, ok := waitornot.LookupScenario(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -scenario %q; registered:\n", name)
@@ -441,6 +476,9 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 		}
 		overrides = append(overrides, waitornot.WithTargetAccuracy(targetAcc))
 	}
+	if campaignDir != "" && !sweepMode {
+		fatalUsage(fmt.Sprintf("a campaign persists a replication sweep; scenario %q declares no seeds — add -seeds or -replications", sc.Name))
+	}
 	if fast {
 		overrides = append(overrides, waitornot.WithFastScale())
 	}
@@ -451,7 +489,7 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 	start := time.Now()
 	fmt.Printf("==> scenario %s — %s\n", sc.Name, sc.Description)
 	if sweepMode {
-		printSweep(ctx, sc.Experiment(overrides...), csv)
+		printSweep(ctx, sc.Experiment(overrides...), csv, campaignDir, resume)
 	} else {
 		res, err := sc.Experiment(overrides...).Run(ctx)
 		if err != nil {
@@ -463,10 +501,28 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 	fmt.Printf("<== scenario %s (%v)\n", sc.Name, time.Since(start).Round(time.Second))
 }
 
-// printSweep executes a replication sweep and prints the mean ± CI
-// table (plus the cell and raw-run CSVs when requested).
-func printSweep(ctx context.Context, exp *waitornot.Experiment, csv bool) {
-	rep, err := exp.RunSweep(ctx)
+// printSweep executes a replication sweep — as a durable campaign when
+// a directory is given — and prints the mean ± CI table (plus the cell
+// and raw-run CSVs when requested).
+func printSweep(ctx context.Context, exp *waitornot.Experiment, csv bool, campaignDir string, resume bool) {
+	var (
+		rep *waitornot.SweepReport
+		err error
+	)
+	if campaignDir != "" {
+		// Starting over an existing campaign (or resuming a missing one)
+		// is almost certainly a typo in one of the two flags; insist the
+		// intent is spelled out before any work lands in the directory.
+		switch exists := waitornot.CampaignExists(campaignDir); {
+		case exists && !resume:
+			fatalUsage(fmt.Sprintf("%s already holds a campaign; add -resume to continue it, or point -campaign-dir at a fresh directory", campaignDir))
+		case resume && !exists:
+			fatalUsage(fmt.Sprintf("%s holds no campaign to -resume; drop -resume to start one there", campaignDir))
+		}
+		rep, err = exp.RunCampaign(ctx, campaignDir)
+	} else {
+		rep, err = exp.RunSweep(ctx)
+	}
 	if err != nil {
 		exitIfCancelled(err)
 		fatal(err)
@@ -476,6 +532,30 @@ func printSweep(ctx context.Context, exp *waitornot.Experiment, csv bool) {
 		fmt.Println(rep.CSV())
 		fmt.Println(rep.RunsCSV())
 	}
+}
+
+// printCampaignStatus renders a campaign directory's progress and the
+// partial mean ± CI table over whatever cells have landed so far.
+func printCampaignStatus(st *waitornot.CampaignState) {
+	workload := st.Kind
+	if st.Scenario != "" {
+		workload += "  (scenario " + st.Scenario + ")"
+	}
+	pct := 0.0
+	if st.Total > 0 {
+		pct = 100 * float64(st.Done) / float64(st.Total)
+	}
+	fmt.Printf("campaign %s\n", st.Dir)
+	fmt.Printf("  workload     %s\n", workload)
+	fmt.Printf("  fingerprint  %.12s…\n", st.Fingerprint)
+	fmt.Printf("  seeds        %v\n", st.Seeds)
+	fmt.Printf("  progress     %d/%d cells (%.0f%%)\n\n", st.Done, st.Total, pct)
+	if st.Done == 0 {
+		fmt.Println("no cells landed yet; partial tables appear after the first record")
+		return
+	}
+	fmt.Printf("partial results over the %d landed cells:\n\n", st.Done)
+	fmt.Println(st.Partial.Table())
 }
 
 // parseSeeds parses the -seeds flag: a comma-separated uint64 list.
@@ -599,6 +679,17 @@ func printEvent(ev waitornot.Event) {
 		}
 		fmt.Printf("   replication %3d/%d  seed %-4d %-26s acc %.4f  wait %8.1f ms  models %.2f\n",
 			e.Index+1, e.Total, e.Seed, cell, e.FinalAccuracy, e.MeanWaitMs, e.MeanIncluded)
+	case waitornot.CampaignProgress:
+		cell := e.Policy
+		if e.Backend != "" {
+			cell += "@" + e.Backend
+		}
+		src := "landed"
+		if e.Restored {
+			src = "restored"
+		}
+		fmt.Printf("   campaign   %3d/%d  %-8s cell %-3d seed %-4d %-26s acc %.4f  wait %8.1f ms\n",
+			e.Done, e.Total, src, e.Index, e.Seed, cell, e.FinalAccuracy, e.MeanWaitMs)
 	}
 }
 

@@ -114,3 +114,89 @@ func TestPrintDecentralizedRun(t *testing.T) {
 		t.Fatalf("decentralized report output missing chain footprint:\n%s", out)
 	}
 }
+
+// TestPrintCampaign drives a tiny durable campaign through the CLI's
+// own surfaces: the CampaignProgress stream line, the campaign path of
+// printSweep, and the -campaign-status printer over the finished
+// directory.
+func TestPrintCampaign(t *testing.T) {
+	o := tinyShardedOpts()
+	o.Clients = 3
+	o.StragglerFactor = []float64{1, 1, 3}
+	exp := waitornot.New(o,
+		waitornot.WithKind(waitornot.KindTradeoff),
+		waitornot.WithPolicies(waitornot.Policy{Kind: waitornot.WaitAll}, waitornot.Policy{Kind: waitornot.FirstK, K: 1}),
+		waitornot.WithSeeds(7, 8),
+		waitornot.WithObserverFunc(printEvent))
+	dir := t.TempDir() + "/campaign"
+	stream := captureStdout(t, func() { printSweep(context.Background(), exp, false, dir, false) })
+	for _, want := range []string{"campaign", "landed", "mean ± 95% CI"} {
+		if !strings.Contains(stream, want) {
+			t.Fatalf("campaign output missing %q:\n%s", want, stream)
+		}
+	}
+
+	st, err := waitornot.LoadCampaign(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { printCampaignStatus(st) })
+	for _, want := range []string{"progress     4/4 cells (100%)", "fingerprint", "partial results over the 4 landed cells"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("status output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -resume over the finished directory: pure restore, and the
+	// streamed lines say so.
+	stream = captureStdout(t, func() { printSweep(context.Background(), exp, true, dir, true) })
+	for _, want := range []string{"restored", "4/4"} {
+		if !strings.Contains(stream, want) {
+			t.Fatalf("resume output missing %q:\n%s", want, stream)
+		}
+	}
+}
+
+// TestPrintEventFormats drives every branch of the streaming formatter
+// directly: each event type renders its one-line form.
+func TestPrintEventFormats(t *testing.T) {
+	cases := []struct {
+		ev   waitornot.Event
+		want string
+	}{
+		{waitornot.RoundStart{Round: 1, Arm: "consider"}, "-- round 1 [consider]"},
+		{waitornot.PeerTrained{Peer: "A", Samples: 60}, "trained    A (60 samples)"},
+		{waitornot.ModelSubmitted{Peer: "B", Bytes: 2048}, "submitted  B (2.0 KB on-chain)"},
+		{waitornot.BlockCommitted{Height: 3, Backend: "pow", Txs: 2}, "committed  block 3 via pow"},
+		{waitornot.AggregationDecided{Included: 2, ChosenCombo: "AB"}, "aggregated aggregator: 2 models"},
+		{waitornot.PeerAggregated{Peer: "C", Round: 2, Included: 2}, "merged     C r2"},
+		{waitornot.RoundEnd{Round: 1}, "-- round 1 done"},
+		{waitornot.PolicyDone{Policy: "first-2"}, "policy     first-2"},
+		{waitornot.ShardRoundEnd{Shard: 1, Round: 2, Policy: "wait-all"}, "shard 1"},
+		{waitornot.ShardModelCommitted{Shard: 0, Epoch: 1}, "published  shard 0 epoch 1"},
+		{waitornot.GlobalMerge{Epoch: 1, Mode: "sync", Shard: -1}, "merged     epoch 1 (sync, barrier)"},
+		{waitornot.GlobalMerge{Epoch: 2, Mode: "async", Shard: 1}, "merged     epoch 2 (async, shard 1)"},
+		{waitornot.SweepProgress{Index: 0, Total: 4, Seed: 1, Policy: "wait-all", Backend: "pow"}, "replication   1/4  seed 1    wait-all@pow"},
+		{waitornot.CampaignProgress{Done: 2, Total: 4, Index: 1, Seed: 1, Policy: "first-1"}, "campaign     2/4  landed"},
+		{waitornot.CampaignProgress{Done: 1, Total: 4, Restored: true, Policy: "wait-all"}, "restored"},
+	}
+	for _, tc := range cases {
+		out := captureStdout(t, func() { printEvent(tc.ev) })
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("printEvent(%T) = %q, want substring %q", tc.ev, out, tc.want)
+		}
+	}
+}
+
+// TestPrintCampaignStatusEmpty: a campaign with nothing landed prints
+// the progress header and says so instead of an empty table.
+func TestPrintCampaignStatusEmpty(t *testing.T) {
+	st := &waitornot.CampaignState{Dir: "/tmp/x", Kind: "trade-off study", Scenario: "campaign-grid",
+		Fingerprint: strings.Repeat("a", 64), Total: 12, Seeds: []uint64{1, 2, 3}}
+	out := captureStdout(t, func() { printCampaignStatus(st) })
+	for _, want := range []string{"progress     0/12 cells (0%)", "no cells landed yet", "scenario campaign-grid"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("empty status missing %q:\n%s", want, out)
+		}
+	}
+}

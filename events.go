@@ -58,6 +58,11 @@ type (
 	// SweepProgress reports one completed replication of a multi-seed
 	// sweep (RunSweep), in deterministic flat work-list order.
 	SweepProgress = event.SweepProgress
+	// CampaignProgress reports one landed cell of a durable campaign
+	// (RunCampaign): restored from the persisted log or freshly
+	// computed and durably appended before the event fired. Done/Total
+	// is the campaign's cross-restart progress meter.
+	CampaignProgress = event.CampaignProgress
 	// ShardRoundEnd reports one completed shard-local round in a
 	// KindSharded run.
 	ShardRoundEnd = event.ShardRoundEnd

@@ -207,6 +207,33 @@ type SweepProgress struct {
 // EventName implements Event.
 func (SweepProgress) EventName() string { return "sweep-progress" }
 
+// CampaignProgress reports one landed cell of a durable campaign
+// (RunCampaign): cell Index of the flat work list is done, either
+// restored from the campaign's persisted log (Restored — no compute
+// spent) or freshly computed and durably appended before this event
+// fired. Done counts landed cells including every prior session's, so
+// Done/Total is the campaign's true progress meter across process
+// restarts. Restored cells stream first in index order, then computed
+// cells in work-list order, making the stream deterministic at any
+// Parallelism.
+type CampaignProgress struct {
+	Index    int
+	Total    int
+	Done     int
+	Restored bool
+	Seed     uint64
+	Policy   string
+	// Backend names the consensus substrate the cell ran on; empty
+	// when the campaign ran on the unnamed default.
+	Backend       string
+	FinalAccuracy float64
+	MeanWaitMs    float64
+	MeanIncluded  float64
+}
+
+// EventName implements Event.
+func (CampaignProgress) EventName() string { return "campaign-progress" }
+
 // ShardRoundEnd reports one completed shard-local aggregation round in
 // the sharded hierarchy: shard Shard finished its round Round at
 // VirtualMs on the shared clock, its slowest peer waited MaxWaitMs
@@ -299,6 +326,16 @@ func String(ev Event) string {
 			return fmt.Sprintf("%s %d/%d seed=%d %s@%s", e.EventName(), e.Index+1, e.Total, e.Seed, e.Policy, e.Backend)
 		}
 		return fmt.Sprintf("%s %d/%d seed=%d %s", e.EventName(), e.Index+1, e.Total, e.Seed, e.Policy)
+	case CampaignProgress:
+		cell := e.Policy
+		if e.Backend != "" {
+			cell += "@" + e.Backend
+		}
+		s := fmt.Sprintf("%s %d/%d cell=%d seed=%d %s", e.EventName(), e.Done, e.Total, e.Index, e.Seed, cell)
+		if e.Restored {
+			s += " (restored)"
+		}
+		return s
 	case ShardRoundEnd:
 		return fmt.Sprintf("%s s%d r%d t=%.0f wait=%.1f n=%.2f", e.EventName(), e.Shard, e.Round, e.VirtualMs, e.MaxWaitMs, e.MeanIncluded)
 	case ShardModelCommitted:

@@ -1,0 +1,73 @@
+// Self-tests for the shared scaffolding: the golden helpers are the
+// byte-level teeth of every "bit-identical" claim in the repo, so
+// their pass/fail behavior is itself pinned here.
+package testutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waitornot"
+)
+
+func TestTinyOptionsValidate(t *testing.T) {
+	if err := TinyOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TinyStreamOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !TinyStreamOptions().SkipComboTables {
+		t.Fatal("TinyStreamOptions must skip combo tables")
+	}
+	if TinyOptions().Model != waitornot.SimpleNN {
+		t.Fatal("TinyOptions must use the cheap model")
+	}
+}
+
+// recorder captures whether a helper called Fatalf without killing the
+// real test.
+type recorder struct {
+	testing.TB
+	failed bool
+}
+
+func (r *recorder) Helper()                         {}
+func (r *recorder) Fatalf(string, ...any)           { r.failed = true }
+func (r *recorder) Logf(format string, args ...any) {}
+
+func TestGoldenEqual(t *testing.T) {
+	ok := &recorder{TB: t}
+	GoldenEqual(ok, "same", map[string]int{"a": 1}, map[string]int{"a": 1})
+	if ok.failed {
+		t.Fatal("identical values reported as diverged")
+	}
+	bad := &recorder{TB: t}
+	GoldenEqual(bad, "diff", map[string]int{"a": 1}, map[string]int{"a": 2})
+	if !bad.failed {
+		t.Fatal("diverged values reported as identical")
+	}
+}
+
+func TestGoldenFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.golden")
+	if err := os.WriteFile(path, []byte("pinned"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := &recorder{TB: t}
+	GoldenFile(ok, path, []byte("pinned"))
+	if ok.failed {
+		t.Fatal("matching bytes reported as diverged")
+	}
+	bad := &recorder{TB: t}
+	GoldenFile(bad, path, []byte("drifted"))
+	if !bad.failed {
+		t.Fatal("diverged bytes reported as matching")
+	}
+	missing := &recorder{TB: t}
+	GoldenFile(missing, filepath.Join(t.TempDir(), "absent.golden"), []byte("x"))
+	if !missing.failed {
+		t.Fatal("missing golden reported as matching")
+	}
+}

@@ -276,6 +276,50 @@ func TestRaceSmokeAsync(t *testing.T) {
 	wg.Wait()
 }
 
+// TestRaceSmokeCampaign pushes the durable campaign through its
+// genuinely concurrent paths: worker-pool cells racing to Append on
+// the shared log (mutex-serialized fsync'd writes in completion
+// order), the order-restoring CampaignProgress emitter, and the
+// restore path folding persisted records back in under a second,
+// resumed run.
+func TestRaceSmokeCampaign(t *testing.T) {
+	opts := waitornot.Options{
+		Model:           waitornot.SimpleNN,
+		Clients:         3,
+		Rounds:          1,
+		Seed:            9,
+		TrainPerClient:  60,
+		SelectionSize:   30,
+		TestPerClient:   30,
+		SkipComboTables: true,
+		StragglerFactor: []float64{1, 1, 3},
+		CommitLatency:   true,
+		// 2 seeds x 2 policies x 2 backends = 8 cells; Parallelism 16
+		// leaves each an inner pool of 2, so appends race for real.
+		Parallelism: 16,
+	}
+	exp := func() *waitornot.Experiment {
+		return waitornot.New(opts,
+			waitornot.WithKind(waitornot.KindTradeoff),
+			waitornot.WithPolicies(waitornot.Policy{Kind: waitornot.WaitAll}, waitornot.Policy{Kind: waitornot.FirstK, K: 1}),
+			waitornot.WithBackends("pow", "instant"),
+			waitornot.WithSeeds(9, 10),
+			waitornot.WithObserverFunc(func(waitornot.Event) {}))
+	}
+	dir := t.TempDir()
+	rep, err := exp().RunCampaign(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 8 {
+		t.Fatalf("runs = %d, want 8", len(rep.Runs))
+	}
+	// Resume over the finished log: pure restore, still race-patrolled.
+	if _, err := exp().RunCampaign(context.Background(), dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRaceSmokeSharded(t *testing.T) {
 	opts := waitornot.Options{
 		Model:           waitornot.SimpleNN,

@@ -204,6 +204,19 @@ func init() {
 		Seeds:    []uint64{1, 2, 3, 4, 5},
 	})
 	MustRegisterScenario(Scenario{
+		Name: "campaign-grid",
+		Description: "the full policy x backend grid over 5 seeds, sized for durable " +
+			"campaigns: run with -campaign-dir to persist, kill, and -resume",
+		Kind: KindTradeoff,
+		Options: Options{
+			StragglerFactor: []float64{1, 1, 3},
+			CommitLatency:   true,
+		},
+		Policies: DefaultPolicies(3),
+		Backends: []string{"pow", "poa", "pbft", "instant"},
+		Seeds:    []uint64{1, 2, 3, 4, 5},
+	})
+	MustRegisterScenario(Scenario{
 		Name: "consensus-ladder",
 		Description: "backends x wait policies: pow vs poa vs pbft vs instant commit " +
 			"latency under the full wait ladder with a 3x straggler",

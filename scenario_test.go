@@ -22,6 +22,7 @@ func TestBuiltinScenarioLibrary(t *testing.T) {
 		"hetero-compute":   KindAsync,
 
 		"replicated-tradeoff": KindTradeoff, // declares Seeds (a sweep)
+		"campaign-grid":       KindTradeoff, // declares Seeds + Backends (a durable sweep)
 	}
 	for name, kind := range wantKinds {
 		s, ok := LookupScenario(name)

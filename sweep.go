@@ -164,6 +164,75 @@ type SweepReport struct {
 // wait/latency semantics and is rejected. Combo tables are always
 // skipped: the sweep consumes only headline metrics.
 func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
+	plan, err := e.sweepPlan()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := plan.total()
+	emit := newOrderedEmitter(observerSink(e.observer))
+	runs, err := par.MapCtx(ctx, plan.workers, total, func(i int) (SweepRun, error) {
+		run, err := plan.run(ctx, i)
+		if err != nil {
+			return SweepRun{}, err
+		}
+		emit.emit(i, event.SweepProgress{
+			Index:         i,
+			Total:         total,
+			Seed:          run.Seed,
+			Policy:        run.Policy,
+			Backend:       run.Backend,
+			FinalAccuracy: run.FinalAccuracy,
+			MeanWaitMs:    run.MeanWaitMs,
+			MeanIncluded:  run.MeanIncluded,
+		})
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return plan.report(runs), nil
+}
+
+// sweepVariant is one per-backend cell axis value: a wait policy for
+// the classic kinds, a shard-count × merge-cadence combination for
+// KindSharded. The variant's label keys the cell (the grid and the
+// report's policy column), so classic sweeps keep their exact cell
+// names and byte-identical reports.
+type sweepVariant struct {
+	label           string
+	policy          Policy
+	shards, cadence int
+}
+
+// sweepPlan is a replication sweep resolved into its flat work list:
+// the seed-major, backend-major, variant-minor grid RunSweep schedules
+// through the worker pool. The campaign engine (RunCampaign) reuses
+// the same plan, so a persisted cell is keyed and computed exactly as
+// an in-memory one.
+type sweepPlan struct {
+	kind     Kind
+	scenario string
+	// opts is the per-replication configuration: defaults applied,
+	// combo tables off, Parallelism rewritten to the inner per-run
+	// budget (total concurrency stays near the configured Parallelism).
+	opts     Options
+	seeds    []uint64
+	backends []string
+	variants []sweepVariant
+	// ladder is the experiment's policy ladder, which KindSharded
+	// replications pass through to the adaptive controller.
+	ladder []Policy
+	target float64
+	// workers is the outer worker-pool bound for scheduling cells.
+	workers int
+}
+
+// sweepPlan validates the experiment's sweep configuration and
+// resolves it into the flat work list.
+func (e *Experiment) sweepPlan() (*sweepPlan, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -177,18 +246,8 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	if t := e.sweep.TargetAccuracy; t < 0 || t > 1 {
 		return nil, fmt.Errorf("waitornot: target accuracy %g outside [0, 1]", t)
 	}
-	// A variant is one per-backend cell axis value: a wait policy for
-	// the classic kinds, a shard-count × merge-cadence combination for
-	// KindSharded. The variant's label keys the cell (the grid and the
-	// report's policy column), so classic sweeps keep their exact cell
-	// names and byte-identical reports.
-	type variant struct {
-		label           string
-		policy          Policy
-		shards, cadence int
-	}
 	var (
-		variants []variant
+		variants []sweepVariant
 		backends []string
 	)
 	switch e.kind {
@@ -208,14 +267,14 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			if err := p.Validate(); err != nil {
 				return nil, err
 			}
-			variants = append(variants, variant{label: p.Name(), policy: p})
+			variants = append(variants, sweepVariant{label: p.Name(), policy: p})
 		}
 		backends = e.backends
 		if len(backends) == 0 {
 			backends = []string{e.opts.Backend}
 		}
 	case KindDecentralized:
-		variants = []variant{{label: e.opts.Policy.Name(), policy: e.opts.Policy}}
+		variants = []sweepVariant{{label: e.opts.Policy.Name(), policy: e.opts.Policy}}
 		backends = []string{e.opts.Backend}
 	case KindSharded:
 		// The sharded sweep's per-backend axes are topology, not wait
@@ -248,7 +307,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 				if m < 1 {
 					return nil, fmt.Errorf("waitornot: sweep merge cadence %d < 1", m)
 				}
-				variants = append(variants, variant{
+				variants = append(variants, sweepVariant{
 					label:   fmt.Sprintf("S=%d/M=%d", s, m),
 					policy:  e.opts.Policy,
 					shards:  s,
@@ -263,90 +322,98 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 	default:
 		return nil, fmt.Errorf("waitornot: %v experiments cannot be swept (no wait/latency metrics); use KindTradeoff, KindAsync, KindSharded, or KindDecentralized", e.kind)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
 	opts := e.opts.withDefaults()
 	opts.SkipComboTables = true
-	cells := len(backends) * len(variants)
-	total := len(seeds) * cells
+	total := len(seeds) * len(backends) * len(variants)
 	workers := par.Workers(opts.Parallelism)
 	if inner := workers / max(1, total); inner >= 1 {
 		opts.Parallelism = inner
 	} else {
 		opts.Parallelism = 1
 	}
+	return &sweepPlan{
+		kind:     e.kind,
+		scenario: e.scenario,
+		opts:     opts,
+		seeds:    seeds,
+		backends: backends,
+		variants: variants,
+		ladder:   e.policies,
+		target:   e.sweep.TargetAccuracy,
+		workers:  workers,
+	}, nil
+}
 
-	target := e.sweep.TargetAccuracy
-	kind := e.kind
-	emit := newOrderedEmitter(observerSink(e.observer))
-	ladder := e.policies
-	runs, err := par.MapCtx(ctx, workers, total, func(i int) (SweepRun, error) {
-		seed := seeds[i/cells]
-		b := backends[(i%cells)/len(variants)]
-		v := variants[i%len(variants)]
-		o := opts
-		o.Seed = seed
-		o.Backend = b
-		o.Policy = v.policy
-		// Every report type exposes the same headline reduction; only
-		// the runner differs per kind.
-		var (
-			rep interface {
-				Headline() (float64, float64, float64)
-				TimeToAccuracyMs(float64) float64
-			}
-			err error
-		)
-		switch kind {
-		case KindAsync:
-			rep, err = runAsyncExperiment(ctx, o, nil)
-		case KindSharded:
-			o.Shards = v.shards
-			o.MergeCadence = v.cadence
-			o.ShardBackends = nil // the backend axis assigns all shards at once
-			rep, err = runShardedExperiment(ctx, o, ladder, nil)
-		default:
-			rep, err = runDecentralizedExperiment(ctx, o, nil)
+// cells is the grid width: cells per seed.
+func (p *sweepPlan) cells() int { return len(p.backends) * len(p.variants) }
+
+// total is the flat work-list length: one item per cell replication.
+func (p *sweepPlan) total() int { return len(p.seeds) * p.cells() }
+
+// cell decomposes flat index i into its (seed, backend, variant)
+// coordinates — the seed-major, backend-major, variant-minor order the
+// work list streams in.
+func (p *sweepPlan) cell(i int) (seed uint64, backend string, v sweepVariant) {
+	cells := p.cells()
+	return p.seeds[i/cells], p.backends[(i%cells)/len(p.variants)], p.variants[i%len(p.variants)]
+}
+
+// run executes work item i: one independent deterministic run at the
+// cell's coordinates, bit-identical to a standalone Experiment.Run at
+// that seed.
+func (p *sweepPlan) run(ctx context.Context, i int) (SweepRun, error) {
+	seed, b, v := p.cell(i)
+	o := p.opts
+	o.Seed = seed
+	o.Backend = b
+	o.Policy = v.policy
+	// Every report type exposes the same headline reduction; only
+	// the runner differs per kind.
+	var (
+		rep interface {
+			Headline() (float64, float64, float64)
+			TimeToAccuracyMs(float64) float64
 		}
-		if err != nil {
-			return SweepRun{}, fmt.Errorf("seed %d cell %s backend %q: %w", seed, v.label, b, err)
-		}
-		acc, wait, included := rep.Headline()
-		var tta *float64
-		if target > 0 {
-			v := rep.TimeToAccuracyMs(target)
-			tta = &v
-		}
-		run := SweepRun{
-			Seed:          seed,
-			Policy:        v.label,
-			Backend:       b,
-			FinalAccuracy: acc,
-			MeanWaitMs:    wait,
-			MeanIncluded:  included,
-			TimeToAccMs:   tta,
-		}
-		emit.emit(i, event.SweepProgress{
-			Index:         i,
-			Total:         total,
-			Seed:          seed,
-			Policy:        run.Policy,
-			Backend:       run.Backend,
-			FinalAccuracy: acc,
-			MeanWaitMs:    wait,
-			MeanIncluded:  included,
-		})
-		return run, nil
-	})
-	if err != nil {
-		return nil, err
+		err error
+	)
+	switch p.kind {
+	case KindAsync:
+		rep, err = runAsyncExperiment(ctx, o, nil)
+	case KindSharded:
+		o.Shards = v.shards
+		o.MergeCadence = v.cadence
+		o.ShardBackends = nil // the backend axis assigns all shards at once
+		rep, err = runShardedExperiment(ctx, o, p.ladder, nil)
+	default:
+		rep, err = runDecentralizedExperiment(ctx, o, nil)
 	}
+	if err != nil {
+		return SweepRun{}, fmt.Errorf("seed %d cell %s backend %q: %w", seed, v.label, b, err)
+	}
+	acc, wait, included := rep.Headline()
+	var tta *float64
+	if p.target > 0 {
+		v := rep.TimeToAccuracyMs(p.target)
+		tta = &v
+	}
+	return SweepRun{
+		Seed:          seed,
+		Policy:        v.label,
+		Backend:       b,
+		FinalAccuracy: acc,
+		MeanWaitMs:    wait,
+		MeanIncluded:  included,
+		TimeToAccMs:   tta,
+	}, nil
+}
 
-	// Accumulate cells from the index-ordered run list: each cell's
-	// accumulator sees its samples in seed order no matter how the
-	// pool scheduled the replications, keeping the report bit-stable.
+// report assembles the SweepReport from the index-ordered run list.
+// Each cell's accumulator sees its samples in seed order no matter how
+// the pool scheduled (or a resumed campaign restored) the
+// replications, keeping the report bit-stable. A partial run list
+// (campaign status) yields the same bytes a complete sweep would for
+// the cells that have landed.
+func (p *sweepPlan) report(runs []SweepRun) *SweepReport {
 	grid := stats.NewGrid()
 	for _, r := range runs {
 		grid.Observe(r.Policy, r.Backend, "accuracy", r.FinalAccuracy)
@@ -359,9 +426,9 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			grid.Observe(r.Policy, r.Backend, "tta_ms", *r.TimeToAccMs)
 		}
 	}
-	rep := &SweepReport{Model: opts.Model, Scenario: e.scenario, Seeds: seeds, TargetAccuracy: target, Runs: runs}
-	for _, b := range backends {
-		for _, v := range variants {
+	rep := &SweepReport{Model: p.opts.Model, Scenario: p.scenario, Seeds: p.seeds, TargetAccuracy: p.target, Runs: runs}
+	for _, b := range p.backends {
+		for _, v := range p.variants {
 			cell := SweepCell{Policy: v.label, Backend: b}
 			if w, ok := grid.Cell(cell.Policy, b, "accuracy"); ok {
 				cell.Accuracy = summaryOf(w)
@@ -372,7 +439,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			if w, ok := grid.Cell(cell.Policy, b, "included"); ok {
 				cell.Included = summaryOf(w)
 			}
-			if target > 0 {
+			if p.target > 0 {
 				s := Summary{}
 				if w, ok := grid.Cell(cell.Policy, b, "tta_ms"); ok {
 					s = summaryOf(w)
@@ -382,7 +449,7 @@ func (e *Experiment) RunSweep(ctx context.Context) (*SweepReport, error) {
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // withBackendColumn reports whether any cell names a backend (the
