@@ -11,6 +11,7 @@ package waitornot_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -495,35 +496,69 @@ func benchParallelSpeedup(b *testing.B, workers int, fn func(parallelism int)) {
 	}
 }
 
-// BenchmarkParallelDecentralized4Peers measures the headline win: the
-// 4-peer decentralized round, sequential vs 4 workers. On hardware
-// with >= 4 cores the speedup-x metric should approach 4 (training
-// dominates and peers are embarrassingly parallel).
-func BenchmarkParallelDecentralized4Peers(b *testing.B) {
-	opts := benchOpts(waitornot.SimpleNN)
-	opts.Clients = 4
-	benchParallelSpeedup(b, 4, func(parallelism int) {
-		opts.Parallelism = parallelism
-		if _, err := waitornot.RunDecentralized(opts); err != nil {
-			b.Fatal(err)
+// BenchmarkParallelScaling sweeps fleet size x GOMAXPROCS and reports
+// the sequential-vs-parallel speedup curve for the decentralized round
+// loop (training-dominated, embarrassingly parallel across peers).
+// Each sub-benchmark pins GOMAXPROCS to its procs value, times the
+// identical workload at Parallelism 1 and Parallelism procs, and
+// reports speedup-x plus the machine's core count — so a snapshot is
+// interpretable on any hardware: rows with procs <= cores carry real
+// scaling signal, rows with procs > cores measure pure pool overhead
+// (oversubscription on too few cores; expect ~1.0x, and see DESIGN.md
+// §11 for why the pre-chunking pool dipped *below* 1.0x there).
+// make bench-guard enforces the 1.5x floor only over the former rows.
+func BenchmarkParallelScaling(b *testing.B) {
+	cores := runtime.NumCPU()
+	for _, peers := range []int{4, 16} {
+		for _, procs := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("peers=%d/procs=%d", peers, procs), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				opts := benchOpts(waitornot.SimpleNN)
+				opts.Clients = peers
+				opts.Rounds = 2
+				opts.TrainPerClient = 120
+				opts.SelectionSize = 40
+				opts.TestPerClient = 50
+				opts.SkipComboTables = true // isolate training scaling
+				opts.Backend = "instant"    // ...from consensus cost
+				benchParallelSpeedup(b, procs, func(parallelism int) {
+					opts.Parallelism = parallelism
+					if _, err := waitornot.RunDecentralized(opts); err != nil {
+						b.Fatal(err)
+					}
+				})
+				b.ReportMetric(float64(peers), "peers")
+				b.ReportMetric(float64(procs), "procs")
+				b.ReportMetric(float64(cores), "cores")
+			})
 		}
-	})
+	}
 }
 
-// BenchmarkParallelComboSearch measures the consider-policy search in
-// isolation at 5 clients (31 combinations), where evaluation — not
-// training — dominates.
-func BenchmarkParallelComboSearch(b *testing.B) {
+// BenchmarkSubsampledFleet10k is the cross-device scaling acceptance
+// as a recorded number: a registered fleet of 10,000 peers with K=32
+// sampled per round (ClientFraction 0.0032) must complete a 2-round
+// run in single-digit seconds, because setup and memory scale with
+// the active cohort, not the fleet.
+func BenchmarkSubsampledFleet10k(b *testing.B) {
 	opts := benchOpts(waitornot.SimpleNN)
-	opts.Clients = 5
-	opts.Rounds = 1
-	opts.SelectionSize = 300
-	benchParallelSpeedup(b, 4, func(parallelism int) {
-		opts.Parallelism = parallelism
-		if _, err := waitornot.RunVanilla(opts); err != nil {
+	opts.Clients = 10000
+	opts.ClientFraction = 0.0032 // K = 32
+	opts.Rounds = 2
+	opts.TrainPerClient = 30
+	opts.SelectionSize = 20
+	opts.TestPerClient = 20
+	opts.SkipComboTables = true
+	opts.Backend = "instant"
+	for i := 0; i < b.N; i++ {
+		rep, err := waitornot.RunDecentralized(opts)
+		if err != nil {
 			b.Fatal(err)
 		}
-	})
+		b.ReportMetric(float64(len(rep.PeerNames)), "peers-materialized")
+		b.ReportMetric(float64(opts.Clients), "fleet-size")
+	}
 }
 
 // BenchmarkParallelTradeoffSweep measures the per-policy loop of the
@@ -656,27 +691,46 @@ func BenchmarkShardedVsFlat(b *testing.B) {
 // fleet (S=1 is the flat-equivalent baseline) and reports each
 // configuration's virtual completion time and global accuracy — the
 // partitioning trade-off at a glance.
+//
+// final-acc is averaged over three seeds. A single-seed sweep at this
+// scale (16 clients, 2 rounds, ~120 samples each) once recorded a
+// non-monotone curve (0.25 → 0.26 → 0.22 → 0.25 across S=1,2,4,8)
+// that looked like a partitioning bug; reseeding reshuffles the
+// ordering, so it is initialization noise on tiny shards, not a merge
+// defect. The seed-mean is the recorded metric; final-acc-spread
+// (max-min over seeds) makes the remaining noise floor visible in the
+// snapshot instead of masquerading as a scaling trend.
 func BenchmarkShardScaling(b *testing.B) {
+	seeds := []uint64{1, 2, 3}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("S=%d", shards), func(b *testing.B) {
 			opts := benchOpts(waitornot.SimpleNN)
 			opts.Clients = 16
 			opts.Rounds = 2
+			opts.TrainPerClient = 120
 			opts.SkipComboTables = true
 			opts.CommitLatency = true
 			opts.Shards = shards
 
-			var horizon, finalAcc float64
+			var horizon, accMean, accSpread float64
 			for i := 0; i < b.N; i++ {
-				rep, err := waitornot.RunSharded(opts)
-				if err != nil {
-					b.Fatal(err)
+				lo, hi := 1.0, 0.0
+				for _, seed := range seeds {
+					opts.Seed = seed
+					rep, err := waitornot.RunSharded(opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					horizon += rep.HorizonMs / float64(len(seeds))
+					accMean += rep.FinalAccuracy / float64(len(seeds))
+					lo = min(lo, rep.FinalAccuracy)
+					hi = max(hi, rep.FinalAccuracy)
 				}
-				horizon += rep.HorizonMs
-				finalAcc += rep.FinalAccuracy
+				accSpread += hi - lo
 			}
 			b.ReportMetric(horizon/float64(b.N), "virtual-ms")
-			b.ReportMetric(finalAcc/float64(b.N), "final-acc")
+			b.ReportMetric(accMean/float64(b.N), "final-acc")
+			b.ReportMetric(accSpread/float64(b.N), "final-acc-spread")
 		})
 	}
 }

@@ -1,0 +1,160 @@
+// Command benchguard gates the repository on the recorded parallel
+// speedup: it reads a benchjson snapshot (cmd/benchjson output) and
+// fails if any BenchmarkParallelScaling row that *should* scale shows
+// speedup-x below the floor.
+//
+//	go run ./cmd/benchguard -file BENCH_2026-08-07.json
+//
+// "Should scale" is hardware-aware. Every BenchmarkParallelScaling
+// row records the peers/procs it ran at and the core count of the
+// machine that produced it; the guard enforces the floor only where
+//
+//	peers >= -peers  &&  procs >= -procs  &&  procs <= cores
+//
+// because a 4-worker pool on a 1-core container cannot beat 1.5x no
+// matter how good the pool is — there, every row is oversubscribed
+// and the guard passes vacuously (loudly, so CI logs show why). On a
+// multi-core runner the same snapshot is gated for real. This is the
+// regression tripwire for the pool-overhead bug DESIGN.md §11
+// documents: the pre-chunking pool recorded 0.95-0.97x — *slower*
+// than sequential — and nothing failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchmark mirrors the cmd/benchjson row shape (only what the guard
+// reads; unknown fields are ignored).
+type benchmark struct {
+	Name     string             `json:"name"`
+	SpeedupX float64            `json:"speedup_x"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	GeneratedAt string      `json:"generated_at"`
+	CPU         string      `json:"cpu"`
+	Benchmarks  []benchmark `json:"benchmarks"`
+}
+
+const scalingPrefix = "BenchmarkParallelScaling/"
+
+func main() {
+	file := flag.String("file", "", "benchjson snapshot to gate (default: newest BENCH_*.json in the working directory)")
+	minSpeedup := flag.Float64("min", 1.5, "speedup-x floor for enforceable rows")
+	minPeers := flag.Float64("peers", 16, "enforce only at fleets at least this large")
+	minProcs := flag.Float64("procs", 4, "enforce only at worker counts at least this large")
+	flag.Parse()
+
+	path := *file
+	if path == "" {
+		var err error
+		if path, err = newestSnapshot("."); err != nil {
+			fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+
+	scaling, enforced, failed, lines, err := gate(snap, *minSpeedup, *minPeers, *minProcs)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	for _, l := range lines {
+		fmt.Println("benchguard: " + l)
+	}
+
+	if scaling == 0 {
+		fatal(fmt.Errorf("%s: no %s* rows — regenerate with `make bench-json`", path, scalingPrefix))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d enforceable rows in %s below the %.2fx floor", failed, enforced, path, *minSpeedup))
+	}
+	if enforced == 0 {
+		fmt.Printf("benchguard: %s passes vacuously — no row has peers >= %g, procs >= %g within the recorded %s-core budget\n",
+			path, *minPeers, *minProcs, coresLabel(snap))
+		return
+	}
+	fmt.Printf("benchguard: %s ok — %d enforceable rows at or above %.2fx\n", path, enforced, *minSpeedup)
+}
+
+// gate applies the hardware-aware enforcement rule to every scaling
+// row and returns the counts plus one human-readable line per row it
+// judged or skipped for oversubscription. It is the whole policy:
+// rows below the peers/procs enforcement scale are silent, rows whose
+// worker count exceeds the recording machine's cores are skipped
+// loudly, the rest must meet the speedup floor.
+func gate(snap snapshot, minSpeedup, minPeers, minProcs float64) (scaling, enforced, failed int, lines []string, err error) {
+	for _, b := range snap.Benchmarks {
+		if !strings.HasPrefix(b.Name, scalingPrefix) {
+			continue
+		}
+		scaling++
+		peers, procs, cores := b.Metrics["peers"], b.Metrics["procs"], b.Metrics["cores"]
+		if peers == 0 || procs == 0 || cores == 0 {
+			return 0, 0, 0, nil, fmt.Errorf("%s is missing the peers/procs/cores metrics", b.Name)
+		}
+		if peers < minPeers || procs < minProcs {
+			continue // below the enforcement scale by design
+		}
+		if procs > cores {
+			lines = append(lines, fmt.Sprintf("skip %-44s speedup %.2fx (oversubscribed: %g workers on %g cores)",
+				b.Name, b.SpeedupX, procs, cores))
+			continue
+		}
+		enforced++
+		verdict := "ok  "
+		if b.SpeedupX < minSpeedup {
+			verdict = "FAIL"
+			failed++
+		}
+		lines = append(lines, fmt.Sprintf("%s %-44s speedup %.2fx (floor %.2fx, %g workers on %g cores)",
+			verdict, b.Name, b.SpeedupX, minSpeedup, procs, cores))
+	}
+	return scaling, enforced, failed, lines, nil
+}
+
+// coresLabel extracts the recorded core count for the vacuous-pass
+// message (all scaling rows share it; fall back to the CPU string).
+func coresLabel(snap snapshot) string {
+	for _, b := range snap.Benchmarks {
+		if strings.HasPrefix(b.Name, scalingPrefix) {
+			if c, ok := b.Metrics["cores"]; ok {
+				return fmt.Sprintf("%g", c)
+			}
+		}
+	}
+	return ""
+}
+
+// newestSnapshot picks the lexicographically greatest BENCH_*.json —
+// the file names embed ISO dates, so that is the most recent snapshot.
+func newestSnapshot(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json in %s (run `make bench-json` first)", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func row(name string, peers, procs, cores, speedup float64) benchmark {
+	return benchmark{
+		Name:     scalingPrefix + name,
+		SpeedupX: speedup,
+		Metrics:  map[string]float64{"peers": peers, "procs": procs, "cores": cores, "speedup-x": speedup},
+	}
+}
+
+// TestGateRule pins the hardware-aware enforcement rule: the floor
+// applies exactly where peers >= 16, procs >= 4, and the recording
+// machine had the cores to scale; everything else is out of scope no
+// matter how slow it ran.
+func TestGateRule(t *testing.T) {
+	cases := []struct {
+		name                      string
+		rows                      []benchmark
+		scaling, enforced, failed int
+	}{
+		{"one-core runner is vacuous", []benchmark{
+			row("peers=16/procs=4", 16, 4, 1, 0.97), // the historical regression shape
+			row("peers=4/procs=1", 4, 1, 1, 1.0),
+		}, 2, 0, 0},
+		{"multi-core regression fails", []benchmark{
+			row("peers=16/procs=4", 16, 4, 8, 0.97),
+		}, 1, 1, 1},
+		{"multi-core healthy passes", []benchmark{
+			row("peers=16/procs=4", 16, 4, 8, 3.2),
+			row("peers=16/procs=2", 16, 2, 8, 1.8), // below procs floor: unenforced
+			row("peers=4/procs=4", 4, 4, 8, 1.1),   // below peers floor: unenforced
+		}, 3, 1, 0},
+		{"oversubscribed row skipped on big fleet", []benchmark{
+			row("peers=16/procs=4", 16, 4, 2, 0.9),
+		}, 1, 0, 0},
+		{"non-scaling benchmarks ignored", []benchmark{
+			{Name: "BenchmarkBackendPoW", Metrics: map[string]float64{}},
+		}, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scaling, enforced, failed, _, err := gate(snapshot{Benchmarks: tc.rows}, 1.5, 16, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scaling != tc.scaling || enforced != tc.enforced || failed != tc.failed {
+				t.Fatalf("gate = scaling %d, enforced %d, failed %d; want %d/%d/%d",
+					scaling, enforced, failed, tc.scaling, tc.enforced, tc.failed)
+			}
+		})
+	}
+}
+
+// TestGateMissingMetrics proves a snapshot produced by an outdated
+// benchmark (no peers/procs/cores row metadata) is an error, not a
+// silent vacuous pass.
+func TestGateMissingMetrics(t *testing.T) {
+	snap := snapshot{Benchmarks: []benchmark{{
+		Name:     scalingPrefix + "peers=16/procs=4",
+		SpeedupX: 0.9,
+		Metrics:  map[string]float64{"speedup-x": 0.9},
+	}}}
+	if _, _, _, _, err := gate(snap, 1.5, 16, 4); err == nil {
+		t.Fatal("gate accepted a scaling row without peers/procs/cores metrics")
+	}
+}
+
+// TestNewestSnapshot proves the default-file rule: the
+// lexicographically greatest BENCH_*.json wins (the names embed ISO
+// dates), and an empty directory is an error, not a silent pass.
+func TestNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := newestSnapshot(dir); err == nil {
+		t.Fatal("newestSnapshot accepted a directory with no snapshots")
+	}
+	for _, name := range []string{"BENCH_2026-07-30.json", "BENCH_2026-08-07.json", "BENCH_2025-12-31.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-07.json" {
+		t.Fatalf("newestSnapshot = %s, want the latest date", got)
+	}
+}
+
+func TestCoresLabel(t *testing.T) {
+	snap := snapshot{Benchmarks: []benchmark{
+		{Name: "BenchmarkBackendPoW", Metrics: map[string]float64{}},
+		row("peers=4/procs=1", 4, 1, 8, 1.0),
+	}}
+	if got := coresLabel(snap); got != "8" {
+		t.Fatalf("coresLabel = %q, want 8", got)
+	}
+	if got := coresLabel(snapshot{}); got != "" {
+		t.Fatalf("coresLabel on empty snapshot = %q, want empty", got)
+	}
+}

@@ -77,7 +77,8 @@ func main() {
 		timeBudget  = flag.Float64("time-budget-ms", 0, "virtual-time horizon for -async (0 = run until every peer finishes its rounds)")
 		targetAcc   = flag.Float64("target-acc", 0, "with -seeds/-replications, also sweep time-to-this-accuracy per cell")
 		shards      = flag.Int("shards", 0, "run the sharded multi-aggregator hierarchy with this many shards (>= 2)")
-		clients     = flag.Int("clients", 0, "fleet size for -shards (0 = 4 clients per shard; every shard needs >= 2)")
+		clients     = flag.Int("clients", 0, "fleet size (0 = 3 clients, the paper's; for -shards, 0 = 4 clients per shard)")
+		clientFrac  = flag.Float64("client-fraction", 0, "train only this fraction of clients per round, in (0,1] (cross-device subsampling; 0 = every client every round)")
 		mergeEvery  = flag.Int("merge-every", 0, "cross-shard merge cadence in shard rounds for -shards (0 = every round)")
 		mergeMode   = flag.String("merge-mode", "sync", "cross-shard merge discipline for -shards: sync (barrier) or async (staleness-weighted, on arrival)")
 		campaignDir = flag.String("campaign-dir", "", "persist the sweep as a durable campaign in this directory (fsync'd JSONL per cell; resumable)")
@@ -132,8 +133,12 @@ func main() {
 		fatalUsage("-merge-every must be >= 0")
 	case *mergeMode != "sync" && *mergeMode != "async":
 		fatalUsage(fmt.Sprintf("unknown -merge-mode %q (want sync or async)", *mergeMode))
-	case set["clients"] && *shards == 0:
-		fatalUsage("-clients sizes the sharded fleet; add -shards (the paper grids are fixed at 3 clients)")
+	case set["clients"] && *shards == 0 && !set["client-fraction"]:
+		fatalUsage("-clients sizes the sharded fleet; add -shards, or -client-fraction for a subsampled flat fleet (the paper grids are fixed at 3 clients)")
+	case set["client-fraction"] && (*clientFrac <= 0 || *clientFrac > 1):
+		fatalUsage(fmt.Sprintf("-client-fraction %g outside (0, 1]", *clientFrac))
+	case set["client-fraction"] && *exp == "table1":
+		fatalUsage("-client-fraction subsamples the decentralized fleet; -exp table1 is the centralized run")
 	case set["clients"] && *clients < 2**shards:
 		fatalUsage(fmt.Sprintf("-clients %d leaves a shard with fewer than 2 clients across %d shards", *clients, *shards))
 	case *shards > 0 && *clients > 0 && *shards > *clients:
@@ -195,7 +200,7 @@ func main() {
 		return
 	}
 	if *scenario != "" {
-		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *fast, !*noStream, *csv,
+		runScenario(ctx, *scenario, *model, *backend, *seed, *rounds, *parallel, *clientFrac, *fast, !*noStream, *csv,
 			sweepSeeds, *repsFlag, set["time-budget-ms"], *timeBudget, *targetAcc, *campaignDir, *resume)
 		return
 	}
@@ -216,6 +221,16 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		Backend:     *backend,
+	}
+	if *clients > 0 {
+		opts.Clients = *clients
+	}
+	if *clientFrac != 0 {
+		// Cross-device subsampling: only K = round(fraction*Clients)
+		// clients train per round, and the per-round combination tables
+		// (a cross-silo artifact) are skipped.
+		opts.ClientFraction = *clientFrac
+		opts.SkipComboTables = true
 	}
 	if *fast {
 		opts.TrainPerClient = 200
@@ -411,7 +426,7 @@ func main() {
 // API — streaming its typed progress events — and prints the report
 // matching the scenario's kind. A scenario that declares Seeds (or an
 // explicit -seeds/-replications flag) runs as a replication sweep.
-func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, fast, stream, csv bool, sweepSeeds []uint64, reps int, budgetSet bool, budget, targetAcc float64, campaignDir string, resume bool) {
+func runScenario(ctx context.Context, name, model, backend string, seed uint64, rounds, parallel int, clientFrac float64, fast, stream, csv bool, sweepSeeds []uint64, reps int, budgetSet bool, budget, targetAcc float64, campaignDir string, resume bool) {
 	sc, ok := waitornot.LookupScenario(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown -scenario %q; registered:\n", name)
@@ -447,6 +462,8 @@ func runScenario(ctx context.Context, name, model, backend string, seed uint64, 
 			overrides = append(overrides, waitornot.WithSeed(seed))
 		case "rounds":
 			overrides = append(overrides, waitornot.WithRounds(rounds))
+		case "client-fraction":
+			overrides = append(overrides, waitornot.WithClientFraction(clientFrac))
 		case "parallel":
 			overrides = append(overrides, waitornot.WithParallelism(parallel))
 		case "backend":
@@ -592,11 +609,19 @@ func printResults(res *waitornot.Results, model string) {
 		fmt.Println(res.Vanilla.Figure3(model))
 	case res.Decentralized != nil:
 		rep := res.Decentralized
-		for p := range rep.PeerNames {
-			fmt.Println(rep.PeerTable(p, model))
-			fmt.Println()
+		if len(rep.ComboLabels) > 0 && len(rep.ComboLabels[0]) > 0 {
+			for p := range rep.PeerNames {
+				fmt.Println(rep.PeerTable(p, model))
+				fmt.Println()
+			}
+			fmt.Println(rep.Figure4(model))
+		} else {
+			// Combo tables are off (-client-fraction, or SkipComboTables
+			// runs); the headline reduction is the readable summary.
+			acc, wait, included := rep.Headline()
+			fmt.Printf("combo tables skipped; headline (%s): final-acc %.4f, mean wait %.1f ms, mean included %.2f, %d peers trained\n\n",
+				model, acc, wait, included, len(rep.PeerNames))
 		}
-		fmt.Println(rep.Figure4(model))
 		fmt.Printf("on-chain footprint: %d blocks, %d txs (%d submissions, %d decisions), %.2f MGas, %.2f MB\n\n",
 			rep.Chain.Blocks, rep.Chain.Txs, rep.Chain.Submissions, rep.Chain.Decisions,
 			float64(rep.Chain.GasUsed)/1e6, float64(rep.Chain.Bytes)/1e6)

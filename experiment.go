@@ -326,6 +326,22 @@ func WithParallelism(n int) Option {
 	return func(e *Experiment) { e.opts.Parallelism = n }
 }
 
+// WithClientFraction enables cross-device client subsampling: only
+// K = round(f*Clients) clients (at least 1) train each round, drawn
+// deterministically from the seed; only sampled clients are
+// materialized, so fleets of thousands of registered clients run in
+// seconds. f must be in (0, 1] — passing f <= 0 is recorded as an
+// invalid sentinel so Run reports the error instead of silently
+// disabling subsampling. See Options.ClientFraction.
+func WithClientFraction(f float64) Option {
+	return func(e *Experiment) {
+		if f <= 0 {
+			f = -1
+		}
+		e.opts.ClientFraction = f
+	}
+}
+
 // WithFastScale shrinks the data sizes to the smoke-test scale of
 // `cmd/repro -fast`: runs finish in seconds instead of minutes, at
 // reduced statistical fidelity.

@@ -77,6 +77,10 @@ type asyncArrival struct {
 type asyncPeer struct {
 	*peerState
 	idx int
+	// slot is the peer's index in the engine's materialized fleet (and
+	// thus the ledger's views/sealers). Equal to idx in classic runs;
+	// under ClientFraction the cohort is a subset of the fleet.
+	slot int
 	// rng draws the peer's compute multipliers and network jitter —
 	// derived streams, so the synchronous runner's streams are
 	// untouched.
@@ -132,6 +136,18 @@ func RunAsync(ctx context.Context, cfg Config) (*AsyncResult, error) {
 	if err := e.register(); err != nil {
 		return nil, err
 	}
+	// The free-running cohort: under ClientFraction the round-1 sample
+	// runs the whole horizon (there is no global round boundary at which
+	// to re-draw), so the async engine is a K-peer experiment over
+	// identities drawn from the registered fleet. Classic runs keep
+	// every peer.
+	cohort := e.roundParticipants(1)
+	if cohort == nil {
+		cohort = make([]int, len(e.peers))
+		for i := range cohort {
+			cohort[i] = i
+		}
+	}
 	a := &asyncEngine{
 		engine:   e,
 		ctx:      ctx,
@@ -139,16 +155,18 @@ func RunAsync(ctx context.Context, cfg Config) (*AsyncResult, error) {
 		commitAt: map[float64]bool{},
 		res: &AsyncResult{
 			Config:          e.cfg,
-			PeerNames:       make([]string, e.cfg.Peers),
-			InitialAccuracy: make([]float64, e.cfg.Peers),
-			Rounds:          make([][]AsyncRound, e.cfg.Peers),
+			PeerNames:       make([]string, len(cohort)),
+			InitialAccuracy: make([]float64, len(cohort)),
+			Rounds:          make([][]AsyncRound, len(cohort)),
 		},
 	}
 	var meanTrain float64
-	for i, p := range e.peers {
+	for i, s := range cohort {
+		p := e.peers[s]
 		a.peers = append(a.peers, &asyncPeer{
 			peerState: p,
 			idx:       i,
+			slot:      s,
 			rng:       e.root.Derive("async-" + p.name),
 			inbox:     map[string]asyncArrival{},
 		})
@@ -162,7 +180,7 @@ func RunAsync(ctx context.Context, cfg Config) (*AsyncResult, error) {
 		// propagation plus (when modeled) commit latency — so updates
 		// one round old carry roughly half weight regardless of which
 		// term dominates the deployment.
-		a.halfLife = meanTrain/float64(e.cfg.Peers) + e.cfg.BaseLatencyMs
+		a.halfLife = meanTrain/float64(len(a.peers)) + e.cfg.BaseLatencyMs
 		if !e.cfg.Network.IsZero() {
 			a.halfLife += e.cfg.Network.Mean
 		}
@@ -349,7 +367,7 @@ func (a *asyncEngine) deliver(q *asyncPeer, arr asyncArrival) error {
 func (a *asyncEngine) probe(p *asyncPeer) bool {
 	received := 1 + len(p.inbox)
 	elapsed := time.Duration((a.clock.Now() - p.openMs) * float64(time.Millisecond))
-	return a.cfg.Policy.Ready(received, a.cfg.Peers, elapsed)
+	return a.cfg.Policy.Ready(received, len(a.peers), elapsed)
 }
 
 // fire merges everything the peer has — its own update plus the
@@ -487,7 +505,7 @@ func (a *asyncEngine) commitPending() error {
 		return nil
 	}
 	now := a.clock.Now()
-	leader := a.commitCount % a.cfg.Peers
+	leader := a.peers[a.commitCount%len(a.peers)].slot
 	a.commitCount++
 	c, err := a.be.Commit(leader, uint64(now))
 	if err != nil {

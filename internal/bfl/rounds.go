@@ -101,17 +101,29 @@ func (r *RoundEngine) RunRoundAt(ctx context.Context, round int, subTsMs, decTsM
 	if err := r.e.runRound(ctx, r.res, round, subTsMs, decTsMs); err != nil {
 		return RoundSummary{}, err
 	}
+	// Summarize over the round's participants. Result rows are ragged
+	// under ClientFraction (a peer's slice only grows in rounds it was
+	// sampled), so each participant's freshest entry — appended by the
+	// runRound call above — is this round's record.
+	slots := r.e.roundParticipants(round)
+	if slots == nil {
+		slots = make([]int, len(r.e.peers))
+		for i := range slots {
+			slots[i] = i
+		}
+	}
 	sum := RoundSummary{Round: round}
-	for i := range r.e.peers {
-		st := r.res.Rounds[i][round-1]
+	for _, s := range slots {
+		rr := r.res.Rounds[s]
+		st := rr[len(rr)-1]
 		if st.WaitMs > sum.MaxWaitMs {
 			sum.MaxWaitMs = st.WaitMs
 		}
 		sum.MeanIncluded += float64(st.Included)
 		sum.MeanAccuracy += st.ChosenAccuracy
 	}
-	sum.MeanIncluded /= float64(len(r.e.peers))
-	sum.MeanAccuracy /= float64(len(r.e.peers))
+	sum.MeanIncluded /= float64(len(slots))
+	sum.MeanAccuracy /= float64(len(slots))
 	return sum, nil
 }
 

@@ -116,6 +116,20 @@ type Config struct {
 	// (the abnormal-client scenario).
 	PoisonPeer int
 	PoisonFrac float64
+	// ClientFraction, when in (0, 1], trains only a K-of-N subsample of
+	// the registered fleet each round (K = round(ClientFraction*Peers),
+	// at least 1) — the cross-device regime, which is what makes fleets
+	// of thousands of registered peers feasible. Participant sets are
+	// drawn per round from a dedicated substream of the root seed at
+	// setup, so they are identical at any Parallelism; non-participants
+	// neither train, submit, nor appear in wait-policy arrival sets, and
+	// only sampled peers are materialized (setup cost scales with the
+	// active cohort, not with Peers). Each sampled peer draws its own
+	// training shard instead of partitioning one global pool, and the
+	// per-pair combination grid (EvalAllCombos) is disabled. 0 disables
+	// subsampling: every peer participates every round, the classic
+	// cross-silo schedule, bit-identical to before the knob existed.
+	ClientFraction float64
 	// Parallelism bounds the worker pool for per-peer local training,
 	// per-peer aggregation decisions, and the per-peer combination
 	// searches. 0 means runtime.NumCPU(); 1 restores the exact
@@ -196,6 +210,12 @@ func (c Config) Validate() error {
 	}
 	if c.StragglerFactor != nil && len(c.StragglerFactor) != c.Peers {
 		return fmt.Errorf("bfl: %d straggler factors for %d peers", len(c.StragglerFactor), c.Peers)
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("bfl: client fraction %g outside (0, 1]", c.ClientFraction)
+	}
+	if c.ClientFraction > 0 && c.DirichletAlpha > 0 {
+		return fmt.Errorf("bfl: DirichletAlpha partitions one global pool; incompatible with ClientFraction's per-peer shards")
 	}
 	if c.PoisonPeer >= c.Peers {
 		return fmt.Errorf("bfl: poison peer %d out of range", c.PoisonPeer)
@@ -375,6 +395,22 @@ type engine struct {
 	// verifyRejected accumulates ledger-verification rejections across
 	// the barriered rounds (pbft model screening).
 	verifyRejected int
+
+	// participants[round] (1-indexed) lists the slot indices sampled to
+	// train that round, ascending; nil when ClientFraction is unset
+	// (every peer, every round). Drawn once at setup.
+	participants [][]int
+	// txIdx[peer] incrementally indexes that peer's committed-tx view by
+	// hash, so each transaction is hashed once per view instead of once
+	// per round. Slot-addressed: the decide pool touches only its own
+	// peer's entry.
+	txIdx []txIndex
+}
+
+// txIndex is one peer view's committed-transaction hash index.
+type txIndex struct {
+	scanned int
+	byHash  map[chain.Hash]*chain.Transaction
 }
 
 // newEngine builds the experiment state shared by both schedules.
@@ -387,6 +423,7 @@ func newEngine(cfg Config) (*engine, error) {
 	if err := e.setup(); err != nil {
 		return nil, err
 	}
+	e.txIdx = make([]txIndex, len(e.peers))
 	return e, nil
 }
 
@@ -416,14 +453,20 @@ func (e *engine) registerAt(tsMs float64) error {
 			return fmt.Errorf("bfl: registration tx: %w", err)
 		}
 	}
-	if _, err := commitRound(e.be, e.sink, 0, 0, e.cfg.Peers, uint64(tsMs)); err != nil {
+	if _, err := commitRound(e.be, e.sink, 0, 0, len(e.peers), uint64(tsMs)); err != nil {
 		return fmt.Errorf("bfl: registration block: %w", err)
 	}
 	return nil
 }
 
-// setup generates data, builds peers, and brings the ledger up.
+// setup generates data, builds peers, and brings the ledger up. The
+// subsampled (cross-device) regime materializes only sampled peers and
+// lives in subsample.go; this body is the classic cross-silo path,
+// byte-for-byte the historical schedule.
 func (e *engine) setup() error {
+	if e.cfg.ClientFraction > 0 {
+		return e.setupSubsampled()
+	}
 	cfg, root := e.cfg, e.root
 
 	// --- Data ------------------------------------------------------------
@@ -542,17 +585,23 @@ func (e *engine) setup() error {
 // labels, empty round slices) for an assembled engine.
 func (e *engine) newResult() *Result {
 	cfg := e.cfg
+	n := len(e.peers)
 	res := &Result{
 		Config:        cfg,
-		PeerNames:     make([]string, cfg.Peers),
-		ComboLabels:   make([][]string, cfg.Peers),
-		ComboAccuracy: make([][][]float64, cfg.Peers),
-		Rounds:        make([][]RoundStats, cfg.Peers),
+		PeerNames:     make([]string, n),
+		ComboLabels:   make([][]string, n),
+		ComboAccuracy: make([][][]float64, n),
+		Rounds:        make([][]RoundStats, n),
 	}
-	names := make([]string, cfg.Peers)
+	names := make([]string, n)
 	for i, p := range e.peers {
 		names[i] = p.name
 		res.PeerNames[i] = p.name
+	}
+	if e.participants != nil {
+		// Subsampled fleets skip the per-pair combo grid: labels alone
+		// would be quadratic in Peers, and EvalAllCombos is disabled.
+		return res
 	}
 	for i := range e.peers {
 		for _, combo := range fl.PaperCombos(cfg.Peers, i) {
@@ -560,6 +609,15 @@ func (e *engine) newResult() *Result {
 		}
 	}
 	return res
+}
+
+// roundParticipants returns the ascending slot indices training in
+// round, or nil when subsampling is off (every peer, every round).
+func (e *engine) roundParticipants(round int) []int {
+	if e.participants == nil || round < 1 || round >= len(e.participants) {
+		return nil
+	}
+	return e.participants[round]
 }
 
 // runDecentralized is the barriered schedule on the virtual clock:
@@ -610,14 +668,33 @@ func runDecentralized(ctx context.Context, cfg Config) (*Result, ledger.Backend,
 // peer's RoundStats (and combo table row) to res.
 func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, decTs float64) error {
 	cfg := e.cfg
-	sink, be, peers, workers := e.sink, e.be, e.peers, e.workers
+	sink, be, workers := e.sink, e.be, e.workers
+
+	// The round's participants: every peer in the classic schedule, the
+	// pre-drawn K-of-N sample under ClientFraction. slots maps the
+	// round-local index back to the fleet slot (result rows, ledger
+	// views); peers is the participating subset in slot order.
+	slots := e.roundParticipants(round)
+	peers := e.peers
+	if slots != nil {
+		peers = make([]*peerState, len(slots))
+		for k, s := range slots {
+			peers[k] = e.peers[s]
+		}
+	} else {
+		slots = make([]int, len(peers))
+		for i := range slots {
+			slots[i] = i
+		}
+	}
+	nPart := len(peers)
 
 	sink.Emit(event.RoundStart{Round: round})
 	// 1. Local training (each peer from its adopted weights). Peers
 	// train concurrently: each owns its model and RNG stream, and
 	// each writes only its own result slot.
-	updates := make([]*fl.Update, cfg.Peers)
-	if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
+	updates := make([]*fl.Update, nPart)
+	if err := par.ForEachCtx(ctx, workers, nPart, func(i int) error {
 		if err := peers[i].client.Adopt(peers[i].adopted); err != nil {
 			return err
 		}
@@ -632,7 +709,7 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 
 	// 2. Submit signed model transactions; gossip into every peer's
 	// pending set and commit the round's submission block.
-	blobBytes := make([]int, cfg.Peers)
+	blobBytes := make([]int, nPart)
 	for i, p := range peers {
 		blob := nn.EncodeWeights(updates[i].Weights)
 		blobBytes[i] = len(blob)
@@ -646,8 +723,8 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 			return fmt.Errorf("bfl: round %d submission tx: %w", round, err)
 		}
 	}
-	leader := (round - 1) % cfg.Peers
-	subCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(subTs))
+	leader := (round - 1) % len(e.peers)
+	subCommit, err := commitRound(be, sink, round, leader, nPart, uint64(subTs))
 	if err != nil {
 		return fmt.Errorf("bfl: round %d submission block: %w", round, err)
 	}
@@ -663,11 +740,11 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 	// reads are lock-protected and side-effect free), mutates only
 	// its own state, and fills index-addressed slots, so the block
 	// assembled below is identical to the sequential run's.
-	decTxs := make([]*chain.Transaction, cfg.Peers)
+	decTxs := make([]*chain.Transaction, nPart)
 	remoteArrival := arrivalTimes(cfg, peers, updates, be.CommitLatencyMs())
-	if err := par.ForEachCtx(ctx, workers, cfg.Peers, func(i int) error {
+	if err := par.ForEachCtx(ctx, workers, nPart, func(i int) error {
 		p := peers[i]
-		onChain, err := readUpdates(be, i, round)
+		onChain, err := e.readUpdates(slots[i], round)
 		if err != nil {
 			return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
 		}
@@ -686,7 +763,7 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 			sort.Slice(onChain, func(a, b int) bool { return onChain[a].Client < onChain[b].Client })
 		}
 		included, waitMs := applyPolicy(cfg.Policy, p.name, p.simTrainMs, onChain, remoteArrival)
-		decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), cfg.Peers)
+		decision, err := p.agg.Decide(round, included, time.Duration(waitMs*float64(time.Millisecond)), nPart)
 		if err != nil {
 			return fmt.Errorf("bfl: %s round %d: %w", p.name, round, err)
 		}
@@ -701,7 +778,7 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 			ChosenAccuracy: p.client.TestAccuracy(decision.Chosen.Weights),
 			Rejected:       decision.RejectedClients,
 		}
-		res.Rounds[i] = append(res.Rounds[i], stats)
+		res.Rounds[slots[i]] = append(res.Rounds[slots[i]], stats)
 
 		// Table rows: evaluate every paper combo over the full
 		// update set — independent of the wait policy AND of ledger
@@ -727,7 +804,7 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 					row = append(row, p.client.TestAccuracy(w))
 				}
 			}
-			res.ComboAccuracy[i] = append(res.ComboAccuracy[i], row)
+			res.ComboAccuracy[slots[i]] = append(res.ComboAccuracy[slots[i]], row)
 		}
 
 		var rh chain.Hash = sha256.Sum256(nn.EncodeWeights(decision.Chosen.Weights))
@@ -743,7 +820,8 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 		return err
 	}
 	for i, p := range peers {
-		st := res.Rounds[i][len(res.Rounds[i])-1]
+		rr := res.Rounds[slots[i]]
+		st := rr[len(rr)-1]
 		sink.Emit(event.AggregationDecided{
 			Round:       round,
 			Peer:        p.name,
@@ -759,7 +837,7 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 			return fmt.Errorf("bfl: round %d decision tx: %w", round, err)
 		}
 	}
-	decCommit, err := commitRound(be, sink, round, leader, cfg.Peers, uint64(decTs))
+	decCommit, err := commitRound(be, sink, round, leader, nPart, uint64(decTs))
 	if err != nil {
 		return fmt.Errorf("bfl: round %d decision block: %w", round, err)
 	}
@@ -796,20 +874,28 @@ func commitRound(be ledger.Backend, sink event.Sink, round, leader, wantTxs int,
 // readUpdates reconstructs the round's model updates from one peer's
 // ledger view: contract records give digests + carrying-tx hashes; the
 // weight bytes are fetched from committed-tx calldata and verified.
-func readUpdates(be ledger.Backend, peer, round int) ([]*fl.Update, error) {
+// The committed-tx hash index is incremental per peer view (new txs
+// are hashed once, not once per round); the decide pool is safe here
+// because each worker only touches its own peer's index.
+func (e *engine) readUpdates(peer, round int) ([]*fl.Update, error) {
+	be := e.be
 	st := be.StateView(peer)
 	subs := contract.SubmissionsAt(st, uint64(round))
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("no submissions on chain")
 	}
-	// Index committed txs once.
-	txByHash := make(map[chain.Hash]*chain.Transaction)
-	for _, tx := range be.CommittedTxs(peer) {
-		txByHash[tx.Hash()] = tx
+	idx := &e.txIdx[peer]
+	if idx.byHash == nil {
+		idx.byHash = make(map[chain.Hash]*chain.Transaction)
+	}
+	txs := be.CommittedTxs(peer)
+	for ; idx.scanned < len(txs); idx.scanned++ {
+		tx := txs[idx.scanned]
+		idx.byHash[tx.Hash()] = tx
 	}
 	out := make([]*fl.Update, 0, len(subs))
 	for _, sub := range subs {
-		tx, ok := txByHash[sub.TxHash]
+		tx, ok := idx.byHash[sub.TxHash]
 		if !ok {
 			return nil, fmt.Errorf("submission tx %s not on canonical chain", sub.TxHash.Short())
 		}

@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 
 	"waitornot/internal/keys"
 )
@@ -62,31 +63,54 @@ type Transaction struct {
 // the signature — the message that is signed.
 func (tx *Transaction) SigningBytes() []byte {
 	var buf bytes.Buffer
-	buf.Grow(2*keys.AddressLen + len(tx.PubKey) + len(tx.Payload) + 64)
-	buf.Write(tx.From[:])
-	writeBytes(&buf, tx.PubKey)
-	writeU64(&buf, tx.Nonce)
-	buf.Write(tx.To[:])
-	writeU64(&buf, tx.Value)
-	writeU64(&buf, tx.GasLimit)
-	writeU64(&buf, tx.GasPrice)
-	writeBytes(&buf, tx.Payload)
+	buf.Grow(tx.signingSize())
+	tx.writeSigning(&buf)
 	return buf.Bytes()
+}
+
+// writeSigning streams the signing encoding into w (a bytes.Buffer or a
+// hash.Hash — neither returns write errors). Hot paths hash transactions
+// every round, so the encoding never materializes as a slice there.
+func (tx *Transaction) writeSigning(w io.Writer) {
+	w.Write(tx.From[:])
+	writeBytes(w, tx.PubKey)
+	writeU64(w, tx.Nonce)
+	w.Write(tx.To[:])
+	writeU64(w, tx.Value)
+	writeU64(w, tx.GasLimit)
+	writeU64(w, tx.GasPrice)
+	writeBytes(w, tx.Payload)
+}
+
+// signingSize is the exact byte length writeSigning produces.
+func (tx *Transaction) signingSize() int {
+	return 2*keys.AddressLen + len(tx.PubKey) + len(tx.Payload) + 6*8
+}
+
+// signingDigest streams the signing encoding through SHA-256.
+func (tx *Transaction) signingDigest() [32]byte {
+	h := sha256.New()
+	tx.writeSigning(h)
+	var d [32]byte
+	h.Sum(d[:0])
+	return d
 }
 
 // Hash returns the transaction id: the SHA-256 of the signed encoding.
 func (tx *Transaction) Hash() Hash {
-	var buf bytes.Buffer
-	buf.Write(tx.SigningBytes())
-	buf.Write(tx.Sig[:])
-	return sha256.Sum256(buf.Bytes())
+	h := sha256.New()
+	tx.writeSigning(h)
+	h.Write(tx.Sig[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
 }
 
 // Sign populates From, PubKey, and Sig from the key.
 func (tx *Transaction) Sign(k *keys.Key) error {
 	tx.From = k.Address()
 	tx.PubKey = k.PublicKey()
-	sig, err := k.Sign(tx.SigningBytes())
+	sig, err := k.SignDigest(tx.signingDigest())
 	if err != nil {
 		return err
 	}
@@ -107,7 +131,7 @@ func (tx *Transaction) VerifySignature() error {
 	if keys.PubToAddress(tx.PubKey) != tx.From {
 		return ErrBadFrom
 	}
-	if err := keys.Verify(tx.PubKey, tx.SigningBytes(), tx.Sig); err != nil {
+	if err := keys.VerifyDigest(tx.PubKey, tx.signingDigest(), tx.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSig, err)
 	}
 	return nil
@@ -131,16 +155,16 @@ func (tx *Transaction) ValidateBasic(gs GasSchedule) error {
 // Size returns the encoded byte size of the transaction (used by
 // block-capacity accounting and the throughput benchmarks).
 func (tx *Transaction) Size() int {
-	return len(tx.SigningBytes()) + len(tx.Sig)
+	return tx.signingSize() + len(tx.Sig)
 }
 
-func writeU64(buf *bytes.Buffer, v uint64) {
+func writeU64(w io.Writer, v uint64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	buf.Write(b[:])
+	w.Write(b[:])
 }
 
-func writeBytes(buf *bytes.Buffer, b []byte) {
-	writeU64(buf, uint64(len(b)))
-	buf.Write(b)
+func writeBytes(w io.Writer, b []byte) {
+	writeU64(w, uint64(len(b)))
+	w.Write(b)
 }

@@ -183,6 +183,14 @@ type Aggregator struct {
 	// and agree with Eval, so decisions are bit-identical to the
 	// sequential search. Nil or length 1 keeps the sequential path.
 	WorkerEvals []fl.Evaluator
+	// MaxComboPeers, when > 0, caps the personalized combination
+	// search: if more than this many updates survive the filter, the
+	// aggregator skips enumeration (quadratic in the kept count) and
+	// adopts the sample-weighted FedAvg of everything kept. This is the
+	// cross-device regime — with dozens of sampled participants per
+	// round, the paper's per-pair table search is neither meaningful
+	// nor tractable. 0 (the default) always runs the full search.
+	MaxComboPeers int
 
 	// avgs are the per-worker scratch accumulators the combination
 	// search aggregates through, reused across rounds (lazily sized to
@@ -228,6 +236,34 @@ func (a *Aggregator) Decide(round int, updates []*fl.Update, waited time.Duratio
 		return nil, fmt.Errorf("core: %s's own update missing from round %d", a.Self, round)
 	}
 
+	keptNames := make([]string, len(kept))
+	for i, u := range kept {
+		keptNames[i] = u.Client
+	}
+
+	if a.MaxComboPeers > 0 && len(kept) > a.MaxComboPeers {
+		all := make(fl.Combo, len(kept))
+		for i := range all {
+			all[i] = i
+		}
+		w, err := fl.FedAvg(kept)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s round %d: %w", a.Self, round, err)
+		}
+		d := &Decision{
+			Round:       round,
+			KeptClients: keptNames,
+			Waited:      len(updates),
+			Expected:    expected,
+			WaitTime:    waited,
+			Chosen:      fl.ComboResult{Combo: all, Accuracy: a.Eval(w), Weights: w},
+		}
+		for _, u := range fres.Rejected {
+			d.RejectedClients = append(d.RejectedClients, u.Client)
+		}
+		return d, nil
+	}
+
 	combos := fl.PaperCombos(len(kept), selfIdx)
 	evals := a.WorkerEvals
 	if len(evals) == 0 {
@@ -269,10 +305,6 @@ func (a *Aggregator) Decide(round int, updates []*fl.Update, waited time.Duratio
 	}
 	chosen.Weights = w
 
-	keptNames := make([]string, len(kept))
-	for i, u := range kept {
-		keptNames[i] = u.Client
-	}
 	d := &Decision{
 		Round:        round,
 		KeptClients:  keptNames,

@@ -70,7 +70,9 @@ type Client struct {
 	Test      *dataset.Set
 	Hyper     Hyper
 
-	rng *xrand.RNG
+	rng     *xrand.RNG
+	opt     *nn.SGD
+	scratch nn.EpochScratch
 }
 
 // NewClient builds a client. rng seeds the client's private shuffling
@@ -89,13 +91,18 @@ func (c *Client) Adopt(weights []float32) error {
 }
 
 // LocalTrain runs the configured number of local epochs for round and
-// returns the resulting update. A fresh optimizer is used each round
-// (standard FedAvg: momentum does not leak across aggregations).
+// returns the resulting update. The optimizer is reset each round
+// (standard FedAvg: momentum does not leak across aggregations) but its
+// buffers — like the epoch scratch — persist across rounds.
 func (c *Client) LocalTrain(round int) *Update {
-	opt := nn.NewSGD(c.Hyper.LR, c.Hyper.Momentum, c.Hyper.WeightDecay)
+	if c.opt == nil {
+		c.opt = nn.NewSGD(c.Hyper.LR, c.Hyper.Momentum, c.Hyper.WeightDecay)
+	} else {
+		c.opt.Reset()
+	}
 	for e := 0; e < c.Hyper.LocalEpochs; e++ {
-		nn.TrainEpoch(c.Model, opt, c.Train.X, c.Train.Y, c.Hyper.BatchSize,
-			c.rng.Derive(fmt.Sprintf("round-%d-epoch-%d", round, e)))
+		nn.TrainEpochScratch(c.Model, c.opt, c.Train.X, c.Train.Y, c.Hyper.BatchSize,
+			c.rng.Derive(fmt.Sprintf("round-%d-epoch-%d", round, e)), &c.scratch)
 	}
 	return &Update{
 		Client:     c.Name,

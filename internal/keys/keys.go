@@ -80,6 +80,12 @@ type Signature [64]byte
 // Sign signs the SHA-256 digest of payload.
 func (k *Key) Sign(payload []byte) (Signature, error) {
 	digest := sha256.Sum256(payload)
+	return k.SignDigest(digest)
+}
+
+// SignDigest signs a precomputed SHA-256 digest. Callers that can stream
+// the message through a hasher avoid materializing the signing bytes.
+func (k *Key) SignDigest(digest [32]byte) (Signature, error) {
 	r, s, err := ecdsa.Sign(rand.Reader, k.priv, digest[:])
 	if err != nil {
 		return Signature{}, fmt.Errorf("keys: sign: %w", err)
@@ -95,12 +101,16 @@ var ErrBadSignature = errors.New("keys: signature verification failed")
 
 // Verify checks sig over payload against the encoded public key pub.
 func Verify(pub []byte, payload []byte, sig Signature) error {
+	return VerifyDigest(pub, sha256.Sum256(payload), sig)
+}
+
+// VerifyDigest checks sig over a precomputed SHA-256 digest.
+func VerifyDigest(pub []byte, digest [32]byte, sig Signature) error {
 	x, y := elliptic.Unmarshal(elliptic.P256(), pub)
 	if x == nil {
 		return fmt.Errorf("%w: malformed public key", ErrBadSignature)
 	}
 	pubKey := &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
-	digest := sha256.Sum256(payload)
 	r := new(big.Int).SetBytes(sig[:32])
 	s := new(big.Int).SetBytes(sig[32:])
 	if !ecdsa.Verify(pubKey, digest[:], r, s) {

@@ -14,8 +14,9 @@ type Dense struct {
 	W, B    *tensor.Dense
 	dW, dB  *tensor.Dense
 
-	x *tensor.Dense // cached input for backward
-	y *tensor.Dense // reused output buffer
+	x  *tensor.Dense // cached input for backward
+	y  *tensor.Dense // reused output buffer
+	dx *tensor.Dense // reused input-gradient buffer
 }
 
 var _ Layer = (*Dense)(nil)
@@ -57,14 +58,17 @@ func (d *Dense) Forward(x *tensor.Dense, _ bool) *tensor.Dense {
 // Backward implements Layer.
 func (d *Dense) Backward(dout *tensor.Dense) *tensor.Dense {
 	// dW += xᵀ * dout ; dB += column sums ; dx = dout * Wᵀ.
-	tmp := tensor.New(d.In, d.Out)
-	tensor.MatMulTransA(d.x, dout, tmp)
-	tensor.Axpy(1, tmp.Data, d.dW.Data)
-	tensor.Axpy(1, tensor.ColSums(dout), d.dB.Data)
+	// Gradients accumulate in place and dx reuses a persistent buffer:
+	// this runs once per minibatch, and fresh scratch matrices here
+	// used to dominate the training allocation profile.
+	tensor.MatMulTransAAdd(d.x, dout, d.dW)
+	tensor.AddColSums(dout, d.dB.Data)
 
-	dx := tensor.New(dout.Rows, d.In)
-	tensor.MatMulTransB(dout, d.W, dx)
-	return dx
+	if d.dx == nil || d.dx.Rows != dout.Rows {
+		d.dx = tensor.New(dout.Rows, d.In)
+	}
+	tensor.MatMulTransB(dout, d.W, d.dx)
+	return d.dx
 }
 
 // Params implements Layer.
@@ -77,6 +81,7 @@ func (d *Dense) Grads() []*tensor.Dense { return []*tensor.Dense{d.dW, d.dB} }
 type ReLU struct {
 	mask []bool
 	y    *tensor.Dense
+	dx   *tensor.Dense
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -107,13 +112,17 @@ func (r *ReLU) Forward(x *tensor.Dense, _ bool) *tensor.Dense {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
-	dx := tensor.New(dout.Rows, dout.Cols)
+	if r.dx == nil || r.dx.Rows != dout.Rows || r.dx.Cols != dout.Cols {
+		r.dx = tensor.New(dout.Rows, dout.Cols)
+	}
 	for i, v := range dout.Data {
 		if r.mask[i] {
-			dx.Data[i] = v
+			r.dx.Data[i] = v
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Params implements Layer.
@@ -130,9 +139,11 @@ type Conv2D struct {
 	W, B   *tensor.Dense
 	dW, dB *tensor.Dense
 
-	x    *tensor.Dense // cached input batch
-	y    *tensor.Dense
-	cols *tensor.Dense // reused per-sample patch matrix
+	x     *tensor.Dense // cached input batch
+	y     *tensor.Dense
+	cols  *tensor.Dense // reused per-sample patch matrix
+	dx    *tensor.Dense // reused input-gradient buffer
+	dcols *tensor.Dense // reused patch-gradient matrix
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -198,8 +209,14 @@ func (c *Conv2D) Forward(x *tensor.Dense, _ bool) *tensor.Dense {
 func (c *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
 	op := c.Geom.OutH() * c.Geom.OutW()
 	inLen := c.Geom.InC * c.Geom.InH * c.Geom.InW
-	dx := tensor.New(dout.Rows, inLen)
-	dcols := tensor.New(op, c.Geom.PatchLen())
+	if c.dx == nil || c.dx.Rows != dout.Rows {
+		c.dx = tensor.New(dout.Rows, inLen)
+	}
+	c.dx.Zero() // Col2Im accumulates into overlapping windows
+	if c.dcols == nil {
+		c.dcols = tensor.New(op, c.Geom.PatchLen())
+	}
+	dx, dcols := c.dx, c.dcols
 	for s := 0; s < dout.Rows; s++ {
 		douts := tensor.FromSlice(c.OutC, op, dout.Row(s))
 		// Recompute the patch matrix; it is cheaper than caching one
@@ -235,6 +252,7 @@ type MaxPool2D struct {
 
 	argmax []int32 // per output element, index into the input sample
 	y      *tensor.Dense
+	dx     *tensor.Dense
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -296,7 +314,11 @@ func (p *MaxPool2D) Forward(x *tensor.Dense, _ bool) *tensor.Dense {
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(dout *tensor.Dense) *tensor.Dense {
 	outLen := p.OutLen()
-	dx := tensor.New(dout.Rows, p.C*p.H*p.W)
+	if p.dx == nil || p.dx.Rows != dout.Rows {
+		p.dx = tensor.New(dout.Rows, p.C*p.H*p.W)
+	}
+	p.dx.Zero() // gradients scatter-add through argmax
+	dx := p.dx
 	for s := 0; s < dout.Rows; s++ {
 		am := p.argmax[s*outLen : (s+1)*outLen]
 		din := dx.Row(s)
@@ -321,6 +343,7 @@ type Dropout struct {
 
 	mask []bool
 	y    *tensor.Dense
+	dx   *tensor.Dense
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -369,13 +392,17 @@ func (d *Dropout) Backward(dout *tensor.Dense) *tensor.Dense {
 		return dout
 	}
 	scale := float32(1 / (1 - d.P))
-	dx := tensor.New(dout.Rows, dout.Cols)
+	if d.dx == nil || d.dx.Rows != dout.Rows || d.dx.Cols != dout.Cols {
+		d.dx = tensor.New(dout.Rows, dout.Cols)
+	}
 	for i, v := range dout.Data {
 		if d.mask[i] {
-			dx.Data[i] = v * scale
+			d.dx.Data[i] = v * scale
+		} else {
+			d.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return d.dx
 }
 
 // Params implements Layer.

@@ -40,11 +40,14 @@ type Layer interface {
 	Grads() []*tensor.Dense
 }
 
-// Model is a sequential stack of layers.
+// Model is a sequential stack of layers. The layer topology is fixed at
+// construction; Params/Grads results are cached on first use.
 type Model struct {
 	// Name labels the architecture (e.g. "SimpleNN").
 	ModelName string
 	Layers    []Layer
+
+	params, grads []*tensor.Dense // cached flattened views, built lazily
 }
 
 // NewModel builds a sequential model from layers.
@@ -68,22 +71,27 @@ func (m *Model) Backward(dout *tensor.Dense) {
 	}
 }
 
-// Params returns all learnable tensors in layer order.
+// Params returns all learnable tensors in layer order. The slice is
+// cached (it is requested once per optimizer step); callers must not
+// mutate it.
 func (m *Model) Params() []*tensor.Dense {
-	var out []*tensor.Dense
-	for _, l := range m.Layers {
-		out = append(out, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.Layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return out
+	return m.params
 }
 
-// Grads returns all gradient tensors in layer order.
+// Grads returns all gradient tensors in layer order. The slice is
+// cached; callers must not mutate it.
 func (m *Model) Grads() []*tensor.Dense {
-	var out []*tensor.Dense
-	for _, l := range m.Layers {
-		out = append(out, l.Grads()...)
+	if m.grads == nil {
+		for _, l := range m.Layers {
+			m.grads = append(m.grads, l.Grads()...)
+		}
 	}
-	return out
+	return m.grads
 }
 
 // ZeroGrads clears all accumulated gradients.

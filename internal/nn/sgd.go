@@ -23,7 +23,7 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 // Step applies one update to params given grads (aligned slices, as
 // returned by Model.Params and Model.Grads) and zeroes the gradients.
 func (s *SGD) Step(params, grads []*tensor.Dense) {
-	if s.velocity == nil {
+	if len(s.velocity) != len(params) {
 		s.velocity = make([][]float32, len(params))
 		for i, p := range params {
 			s.velocity[i] = make([]float32, len(p.Data))
@@ -45,5 +45,12 @@ func (s *SGD) Step(params, grads []*tensor.Dense) {
 }
 
 // Reset clears momentum state (used when a client adopts a new
-// aggregated model between rounds).
-func (s *SGD) Reset() { s.velocity = nil }
+// aggregated model between rounds). The velocity buffers are zeroed in
+// place so a long-lived optimizer does not reallocate every round.
+func (s *SGD) Reset() {
+	for _, v := range s.velocity {
+		for j := range v {
+			v[j] = 0
+		}
+	}
+}

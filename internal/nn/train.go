@@ -7,10 +7,37 @@ import (
 	"waitornot/internal/xrand"
 )
 
+// EpochScratch holds the shuffling and minibatch buffers TrainEpoch
+// needs, so callers that train every round can reuse them instead of
+// reallocating per epoch. The zero value is ready to use.
+type EpochScratch struct {
+	perm   []int
+	batchX *tensor.Dense
+	batchY []int
+}
+
+func (s *EpochScratch) ready(n, batchSize, cols int) {
+	if len(s.perm) != n {
+		s.perm = make([]int, n)
+	}
+	if s.batchX == nil || s.batchX.Rows != batchSize || s.batchX.Cols != cols {
+		s.batchX = tensor.New(batchSize, cols)
+	}
+	if len(s.batchY) != batchSize {
+		s.batchY = make([]int, batchSize)
+	}
+}
+
 // TrainEpoch runs one epoch of minibatch SGD over (xs, ys), shuffling
 // with rng, and returns the mean loss. xs has one sample per row; ys are
 // integer labels aligned with xs rows.
 func TrainEpoch(m *Model, opt *SGD, xs *tensor.Dense, ys []int, batchSize int, rng *xrand.RNG) float64 {
+	return TrainEpochScratch(m, opt, xs, ys, batchSize, rng, &EpochScratch{})
+}
+
+// TrainEpochScratch is TrainEpoch with caller-owned scratch buffers; it
+// draws the same random stream and produces bit-identical results.
+func TrainEpochScratch(m *Model, opt *SGD, xs *tensor.Dense, ys []int, batchSize int, rng *xrand.RNG, scratch *EpochScratch) float64 {
 	n := xs.Rows
 	if n != len(ys) {
 		panic(fmt.Sprintf("nn: %d samples vs %d labels", n, len(ys)))
@@ -18,9 +45,11 @@ func TrainEpoch(m *Model, opt *SGD, xs *tensor.Dense, ys []int, batchSize int, r
 	if batchSize <= 0 {
 		panic("nn: non-positive batch size")
 	}
-	perm := rng.Perm(n)
-	batchX := tensor.New(batchSize, xs.Cols)
-	batchY := make([]int, batchSize)
+	scratch.ready(n, batchSize, xs.Cols)
+	perm := scratch.perm
+	rng.PermInto(perm)
+	batchX := scratch.batchX
+	batchY := scratch.batchY
 	var totalLoss float64
 	batches := 0
 	for start := 0; start+batchSize <= n; start += batchSize {

@@ -120,6 +120,7 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 
 	errs := make([]error, n)    // index-addressed: slot i belongs to item i
 	panics := make([]*Panic, n) // ditto
+	chunk := chunkSize(n, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -127,11 +128,21 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 		go func(worker int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				// Claim a contiguous batch of indices per atomic op so
+				// pool overhead amortizes across cheap items. Slot
+				// addressing keeps the output independent of which
+				// worker claims which batch.
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
 					return
 				}
-				runItem(worker, i, fn, errs, panics)
+				if end > n {
+					end = n
+				}
+				for i := start; i < end && ctx.Err() == nil; i++ {
+					runItem(worker, i, fn, errs, panics)
+				}
 			}
 		}(w)
 	}
@@ -146,6 +157,23 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 		}
 	}
 	return ctx.Err()
+}
+
+// chunkSize picks how many indices a worker claims per atomic operation:
+// small enough that every worker gets several claims (load balance for
+// heavy-tailed items), large enough that per-item claim overhead
+// amortizes when items are tiny and numerous (sweep cells, combo
+// evaluations). n <= workers*8 degenerates to 1, the classic
+// item-at-a-time schedule.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > 64 {
+		return 64
+	}
+	return c
 }
 
 // runSequential executes one item on the caller's goroutine, wrapping

@@ -212,6 +212,35 @@ func MatMulTransA(a, b, c *Dense) {
 	}
 }
 
+// MatMulTransAAdd computes c += aᵀ * b without zeroing c first.
+// Shapes follow MatMulTransA: (k x n)ᵀ * (k x m) -> (n x m).
+//
+// When c starts zeroed this produces bit-identical results to
+// MatMulTransA-into-scratch followed by an Axpy into c, while skipping
+// the scratch matrix entirely — the backward pass of every dense layer
+// accumulates straight into its gradient through this kernel.
+func MatMulTransAAdd(a, b, c *Dense) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransAAdd shape mismatch (%dx%d)T*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	k, n, m := a.Rows, a.Cols, b.Cols
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*n : (p+1)*n]
+		bp := b.Data[p*m : (p+1)*m]
+		for i := 0; i < n; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*m : (i+1)*m]
+			for j := range ci {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
 // AddRowVector adds vector v (length m.Cols) to every row of m.
 func AddRowVector(m *Dense, v []float32) {
 	if len(v) != m.Cols {
@@ -228,13 +257,23 @@ func AddRowVector(m *Dense, v []float32) {
 // ColSums returns the per-column sums of m (length m.Cols).
 func ColSums(m *Dense) []float32 {
 	out := make([]float32, m.Cols)
+	AddColSums(m, out)
+	return out
+}
+
+// AddColSums accumulates the per-column sums of m into dst
+// (length m.Cols), in row order — with dst zeroed this matches ColSums
+// bit for bit, without the allocation.
+func AddColSums(m *Dense, dst []float32) {
+	if len(dst) != m.Cols {
+		panic("tensor: AddColSums length mismatch")
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
 }
 
 // Axpy computes y += alpha*x for equal-length slices.

@@ -113,11 +113,17 @@ func (r *RNG) ExpFloat64() float64 {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)), drawing the
+// same stream as Perm of the same length.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
 	r.ShuffleInts(p)
-	return p
 }
 
 // ShuffleInts shuffles s in place (Fisher-Yates).

@@ -1,6 +1,7 @@
 package waitornot
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -26,6 +27,9 @@ func TestOptionsValidateRejections(t *testing.T) {
 		{"k-or-timeout without deadline", func(o *Options) { o.Policy = Policy{Kind: KOrTimeout, K: 2} }, "TimeoutMs > 0"},
 		{"unknown policy kind", func(o *Options) { o.Policy = Policy{Kind: PolicyKind(99)} }, "policy kind"},
 		{"unknown model", func(o *Options) { o.Model = Model(99) }, "model"},
+		{"client fraction negative", func(o *Options) { o.ClientFraction = -0.5 }, "client fraction"},
+		{"client fraction above one", func(o *Options) { o.ClientFraction = 1.01 }, "client fraction"},
+		{"client fraction with dirichlet", func(o *Options) { o.ClientFraction = 0.1; o.DirichletAlpha = 0.5 }, "DirichletAlpha"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -58,6 +62,9 @@ func TestOptionsValidateAccepts(t *testing.T) {
 		{"k-or-timeout", Options{Policy: Policy{Kind: KOrTimeout, K: 2, TimeoutMs: 100}}},
 		{"poison fraction zero", Options{PoisonClient: 1, PoisonFraction: 0}},
 		{"poison fraction one", Options{PoisonClient: 1, PoisonFraction: 1}},
+		{"client fraction unset", Options{ClientFraction: 0}},
+		{"client fraction full", Options{ClientFraction: 1}},
+		{"cross-device fleet", Options{Clients: 1000, ClientFraction: 0.01}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -77,5 +84,18 @@ func TestRunRejectsInvalidPolicies(t *testing.T) {
 	}
 	if _, err := RunTradeoff(Options{}, []Policy{{Kind: Timeout}}); err == nil {
 		t.Fatal("RunTradeoff accepted a timeout policy with no deadline")
+	}
+}
+
+// TestWithClientFractionSentinel proves the functional option records a
+// non-positive fraction as invalid instead of silently disabling
+// subsampling (0 is the "unset" zero value, so it cannot double as an
+// explicit argument).
+func TestWithClientFractionSentinel(t *testing.T) {
+	for _, f := range []float64{0, -0.3} {
+		exp := New(Options{}, WithClientFraction(f))
+		if _, err := exp.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "client fraction") {
+			t.Errorf("WithClientFraction(%g): want client-fraction error from Run, got %v", f, err)
+		}
 	}
 }

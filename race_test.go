@@ -320,6 +320,46 @@ func TestRaceSmokeCampaign(t *testing.T) {
 	}
 }
 
+// TestRaceSmokeSubsampled pushes the cross-device path through the
+// pool: a subsampled fleet (ClientFraction) whose cohort setup, per
+// participant training, and ragged result appends all run on 8
+// workers, both barriered and on the async free run.
+func TestRaceSmokeSubsampled(t *testing.T) {
+	opts := waitornot.Options{
+		Model:          waitornot.SimpleNN,
+		Clients:        50,
+		ClientFraction: 0.1, // K = 5 of 50
+		Rounds:         2,
+		Seed:           9,
+		TrainPerClient: 60,
+		SelectionSize:  30,
+		TestPerClient:  30,
+		Backend:        "instant",
+		Parallelism:    8,
+	}
+	rep, err := waitornot.RunDecentralized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, rounds := range rep.Rounds {
+		total += len(rounds)
+	}
+	if total != 10 {
+		t.Fatalf("participant-rounds = %d, want 2 rounds x K=5", total)
+	}
+
+	opts.CommitLatency = true
+	opts.Policy = waitornot.Policy{Kind: waitornot.FirstK, K: 2}
+	res, err := waitornot.New(opts, waitornot.WithAsync()).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Async == nil {
+		t.Fatal("no async report")
+	}
+}
+
 func TestRaceSmokeSharded(t *testing.T) {
 	opts := waitornot.Options{
 		Model:           waitornot.SimpleNN,

@@ -232,22 +232,40 @@ func (r *DecentralizedReport) Headline() (finalAccuracy, meanWaitMs, meanInclude
 // wait: the cumulative clock after round r is the sum of the per-round
 // maxima — the synchronous counterpart of AsyncReport.TimeToAccuracyMs
 // and the speed axis time-to-target sweeps compare policies on.
+// Peer round lists are ragged under client subsampling (a peer's list
+// only grows in rounds it was sampled), so rounds are keyed by each
+// record's Round number and the mean is over that round's participants.
 func (r *DecentralizedReport) TimeToAccuracyMs(target float64) float64 {
-	if len(r.Rounds) == 0 {
-		return -1
-	}
-	rounds := len(r.Rounds[0])
-	var cum float64
-	for ri := 0; ri < rounds; ri++ {
-		var acc, maxWait float64
-		for p := range r.Rounds {
-			acc += r.Rounds[p][ri].ChosenAccuracy
-			if w := r.Rounds[p][ri].WaitMs; w > maxWait {
-				maxWait = w
+	maxRound := 0
+	for _, rounds := range r.Rounds {
+		for _, ri := range rounds {
+			if ri.Round > maxRound {
+				maxRound = ri.Round
 			}
 		}
-		cum += maxWait
-		if acc/float64(len(r.Rounds)) >= target {
+	}
+	if maxRound == 0 {
+		return -1
+	}
+	accSum := make([]float64, maxRound+1)
+	accN := make([]int, maxRound+1)
+	maxWait := make([]float64, maxRound+1)
+	for _, rounds := range r.Rounds {
+		for _, ri := range rounds {
+			accSum[ri.Round] += ri.ChosenAccuracy
+			accN[ri.Round]++
+			if ri.WaitMs > maxWait[ri.Round] {
+				maxWait[ri.Round] = ri.WaitMs
+			}
+		}
+	}
+	var cum float64
+	for rd := 1; rd <= maxRound; rd++ {
+		if accN[rd] == 0 {
+			continue
+		}
+		cum += maxWait[rd]
+		if accSum[rd]/float64(accN[rd]) >= target {
 			return cum
 		}
 	}

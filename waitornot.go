@@ -231,6 +231,17 @@ type Options struct {
 	// client's shard. Default -1 (disabled).
 	PoisonClient   int
 	PoisonFraction float64
+	// ClientFraction, when in (0, 1], trains only a K-of-N subsample of
+	// the registered fleet each round (K = round(ClientFraction*Clients),
+	// at least 1) — cross-device federated learning, which is what makes
+	// fleets of thousands of registered clients feasible. Per-round
+	// participant sets are drawn deterministically from Seed, only
+	// sampled clients are materialized, each draws its own training
+	// shard, and the per-round combination tables are disabled. 0 keeps
+	// the classic cross-silo schedule (every client, every round),
+	// bit-identical to runs before this knob existed. Incompatible with
+	// DirichletAlpha, which partitions one global pool.
+	ClientFraction float64
 
 	// Backend names the consensus substrate the decentralized rounds
 	// commit through: "pow" (the default — the paper's proof-of-work
@@ -301,6 +312,12 @@ func (o Options) Validate() error {
 	}
 	if o.PoisonFraction < 0 || o.PoisonFraction > 1 {
 		return fmt.Errorf("waitornot: poison fraction %g outside [0, 1]", o.PoisonFraction)
+	}
+	if o.ClientFraction < 0 || o.ClientFraction > 1 {
+		return fmt.Errorf("waitornot: client fraction %g outside (0, 1]", o.ClientFraction)
+	}
+	if o.ClientFraction > 0 && o.DirichletAlpha > 0 {
+		return fmt.Errorf("waitornot: ClientFraction draws per-client shards; incompatible with DirichletAlpha's global-pool partition")
 	}
 	if err := o.Policy.Validate(); err != nil {
 		return err
@@ -442,6 +459,7 @@ func (o Options) decentralized() bfl.Config {
 		StragglerFactor: o.StragglerFactor,
 		PoisonPeer:      o.PoisonClient,
 		PoisonFrac:      o.PoisonFraction,
+		ClientFraction:  o.ClientFraction,
 		Parallelism:     o.Parallelism,
 		Backend:         o.Backend,
 		CommitLatency:   o.CommitLatency,
