@@ -17,6 +17,7 @@ import (
 
 	"waitornot"
 	"waitornot/internal/chain"
+	"waitornot/internal/contract"
 	"waitornot/internal/fl"
 	"waitornot/internal/keys"
 	"waitornot/internal/ledger"
@@ -351,6 +352,33 @@ func BenchmarkModelSubmissionTx(b *testing.B) {
 	}
 }
 
+// BenchmarkWeightCodec pins the weight codec's allocation contract at
+// SimpleNN size: AppendWeights into a reused scratch buffer is
+// zero-alloc per op (one warm-up growth aside), and HashWeights costs
+// only the constant-size hasher state — never an O(weights) buffer.
+func BenchmarkWeightCodec(b *testing.B) {
+	rng := xrand.New(1)
+	w := nn.NewSimpleNN(rng).WeightVector()
+	b.Run("append", func(b *testing.B) {
+		scratch := make([]byte, 0, nn.EncodedSize(len(w)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scratch = nn.AppendWeights(scratch[:0], w)
+		}
+		_ = scratch
+	})
+	b.Run("hash", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink [32]byte
+		for i := 0; i < b.N; i++ {
+			sink = nn.HashWeights(w)
+		}
+		_ = sink
+	})
+}
+
 // benchBackendSetup builds a backend over 8 peers plus a signer that
 // mints one 1 KB payload transaction per peer per round (signing
 // happens outside the timer, so the measurement isolates the
@@ -401,6 +429,7 @@ func benchBackendSetup(b *testing.B, name string) (ledger.Backend, func(round in
 // commits, every peer's view advances.
 func benchBackendRounds(b *testing.B, name string) {
 	be, mint := benchBackendSetup(b, name)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -442,6 +471,89 @@ func BenchmarkBackendInstant(b *testing.B) { benchBackendRounds(b, "instant") }
 // (the bench payload is a plain transfer, so the scan finds no model
 // submissions to score) and the analytic latency evaluation.
 func BenchmarkBackendPBFT(b *testing.B) { benchBackendRounds(b, "pbft") }
+
+// BenchmarkLedgerHotPath pins the ledger hot path at model scale with
+// allocations visible: 8 peers each submit a real aggregation-contract
+// model payload (a SimpleNN-sized weight blob in contract.Submit call
+// data), the round leader seals, and every peer's committed view is
+// snapshotted and read back. The timer covers gossip validation,
+// sealing, per-peer contract execution, and the StateView copies — the
+// path the verify-once signature cache, memoized tx digests, and
+// storage-value interning serve. Encoding and signing stay outside the
+// timer (client cost; BenchmarkWeightCodec pins the encode path).
+// allocs/op is part of the pin: losing the interned state copies shows
+// up here as megabytes per op before it shows up as time.
+func BenchmarkLedgerHotPath(b *testing.B) {
+	for _, name := range []string{"poa", "pbft", "instant"} {
+		b.Run(name, func(b *testing.B) { benchLedgerHotPath(b, name) })
+	}
+}
+
+func benchLedgerHotPath(b *testing.B, name string) {
+	const peers = 8
+	ccfg := chain.DefaultConfig()
+	ccfg.GenesisDifficulty = 64
+	ccfg.MinDifficulty = 16
+	ks := make([]*keys.Key, peers)
+	alloc := make(map[keys.Address]uint64, peers)
+	sealers := make([]keys.Address, peers)
+	for i := range ks {
+		ks[i] = keys.GenerateDeterministic(uint64(9100 + i))
+		alloc[ks[i].Address()] = 1 << 62
+		sealers[i] = ks[i].Address()
+	}
+	be, err := ledger.New(name, ledger.Config{
+		Peers: peers, Chain: ccfg, Alloc: alloc, Sealers: sealers,
+		Proc: contract.NewVM(ccfg.Gas),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(42)
+	weights := make([][]float32, peers)
+	for i := range weights {
+		w := make([]float32, 61670) // SimpleNN parameter count
+		for j := range w {
+			w[j] = rng.NormFloat32()
+		}
+		weights[i] = w
+	}
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		txs := make([]*chain.Transaction, peers)
+		for p, k := range ks {
+			blob := nn.AppendWeights(scratch[:0], weights[p])
+			scratch = blob[:0]
+			payload := contract.SubmitCallData(uint64(i), 0, 3000, blob)
+			tx, err := chain.NewTx(k, uint64(i), contract.AggregationAddress, 0, payload, ccfg.Gas, 10_000_000, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs[p] = tx
+		}
+		b.StartTimer()
+		for _, tx := range txs {
+			if err := be.Submit(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c, err := be.Commit(i%peers, uint64(i+1)*1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Txs != peers {
+			b.Fatalf("committed %d of %d txs", c.Txs, peers)
+		}
+		for p := 0; p < peers; p++ {
+			if subs := contract.SubmissionsAt(be.StateView(p), uint64(i)); len(subs) != peers {
+				b.Fatalf("peer %d sees %d of %d submissions", p, len(subs), peers)
+			}
+		}
+	}
+}
 
 // BenchmarkBackendInstantVsPoW times the same round on both ends of
 // the consensus ladder and reports the ratio — the per-round price of

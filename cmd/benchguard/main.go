@@ -1,13 +1,13 @@
-// Command benchguard gates the repository on the recorded parallel
-// speedup: it reads a benchjson snapshot (cmd/benchjson output) and
-// fails if any BenchmarkParallelScaling row that *should* scale shows
-// speedup-x below the floor.
+// Command benchguard gates the repository on two recorded performance
+// properties of a benchjson snapshot (cmd/benchjson output):
 //
 //	go run ./cmd/benchguard -file BENCH_2026-08-07.json
 //
-// "Should scale" is hardware-aware. Every BenchmarkParallelScaling
-// row records the peers/procs it ran at and the core count of the
-// machine that produced it; the guard enforces the floor only where
+// 1. Parallel speedup: it fails if any BenchmarkParallelScaling row
+// that *should* scale shows speedup-x below the floor. "Should scale"
+// is hardware-aware. Every BenchmarkParallelScaling row records the
+// peers/procs it ran at and the core count of the machine that
+// produced it; the guard enforces the floor only where
 //
 //	peers >= -peers  &&  procs >= -procs  &&  procs <= cores
 //
@@ -18,6 +18,17 @@
 // regression tripwire for the pool-overhead bug DESIGN.md §11
 // documents: the pre-chunking pool recorded 0.95-0.97x — *slower*
 // than sequential — and nothing failed.
+//
+// 2. Consensus overhead: the poa and pbft backends' per-round ns/op
+// must stay within -max-overhead x of the instant backend's. This is
+// the tripwire for the ledger hot path (DESIGN.md §12): before the
+// verify-once signature cache and state-value interning, poa ran ~9x
+// instant and nothing failed; with them it runs well under 2x, and
+// the ceiling keeps an accidental revert (a cache bypass, a payload
+// deep-copy creeping back into StateCopy) from landing silently.
+// Unlike the speedup floor, the ratio is hardware-independent — both
+// numerators and denominator come from the same run — so it is
+// enforced unconditionally.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 // reads; unknown fields are ignored).
 type benchmark struct {
 	Name     string             `json:"name"`
+	NsPerOp  float64            `json:"ns_per_op"`
 	SpeedupX float64            `json:"speedup_x"`
 	Metrics  map[string]float64 `json:"metrics"`
 }
@@ -46,11 +58,20 @@ type snapshot struct {
 
 const scalingPrefix = "BenchmarkParallelScaling/"
 
+// The backend-overhead rule's row names: the consensus backends whose
+// per-round cost is gated against the consensus-free baseline.
+const (
+	backendBaseline = "BenchmarkBackendInstant"
+	backendPoA      = "BenchmarkBackendPoA"
+	backendPBFT     = "BenchmarkBackendPBFT"
+)
+
 func main() {
 	file := flag.String("file", "", "benchjson snapshot to gate (default: newest BENCH_*.json in the working directory)")
 	minSpeedup := flag.Float64("min", 1.5, "speedup-x floor for enforceable rows")
 	minPeers := flag.Float64("peers", 16, "enforce only at fleets at least this large")
 	minProcs := flag.Float64("procs", 4, "enforce only at worker counts at least this large")
+	maxOverhead := flag.Float64("max-overhead", 2.5, "ceiling on poa/pbft ns/op as a multiple of instant ns/op")
 	flag.Parse()
 
 	path := *file
@@ -77,18 +98,63 @@ func main() {
 		fmt.Println("benchguard: " + l)
 	}
 
+	overheadFailed, overheadLines, err := backendGate(snap, *maxOverhead)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	for _, l := range overheadLines {
+		fmt.Println("benchguard: " + l)
+	}
+
 	if scaling == 0 {
 		fatal(fmt.Errorf("%s: no %s* rows — regenerate with `make bench-json`", path, scalingPrefix))
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d of %d enforceable rows in %s below the %.2fx floor", failed, enforced, path, *minSpeedup))
 	}
+	if overheadFailed > 0 {
+		fatal(fmt.Errorf("%d backend rows in %s exceed %.2fx of the instant baseline", overheadFailed, path, *maxOverhead))
+	}
 	if enforced == 0 {
 		fmt.Printf("benchguard: %s passes vacuously — no row has peers >= %g, procs >= %g within the recorded %s-core budget\n",
 			path, *minPeers, *minProcs, coresLabel(snap))
 		return
 	}
-	fmt.Printf("benchguard: %s ok — %d enforceable rows at or above %.2fx\n", path, enforced, *minSpeedup)
+	fmt.Printf("benchguard: %s ok — %d enforceable rows at or above %.2fx, backend overhead within %.2fx\n",
+		path, enforced, *minSpeedup, *maxOverhead)
+}
+
+// backendGate applies the consensus-overhead rule: poa and pbft ns/op
+// divided by instant ns/op must not exceed maxRatio. A snapshot
+// missing any of the three rows (or recording a zero baseline) is an
+// error, not a vacuous pass — the rule must never rot silently the
+// way the pre-cache 9x overhead did.
+func backendGate(snap snapshot, maxRatio float64) (failed int, lines []string, err error) {
+	ns := map[string]float64{}
+	for _, b := range snap.Benchmarks {
+		switch b.Name {
+		case backendBaseline, backendPoA, backendPBFT:
+			ns[b.Name] = b.NsPerOp
+		}
+	}
+	base := ns[backendBaseline]
+	if base <= 0 {
+		return 0, nil, fmt.Errorf("no usable %s row — regenerate with `make bench-json`", backendBaseline)
+	}
+	for _, name := range []string{backendPoA, backendPBFT} {
+		if ns[name] <= 0 {
+			return 0, nil, fmt.Errorf("no usable %s row — regenerate with `make bench-json`", name)
+		}
+		ratio := ns[name] / base
+		verdict := "ok  "
+		if ratio > maxRatio {
+			verdict = "FAIL"
+			failed++
+		}
+		lines = append(lines, fmt.Sprintf("%s %-44s overhead %.2fx of instant (ceiling %.2fx)",
+			verdict, name, ratio, maxRatio))
+	}
+	return failed, lines, nil
 }
 
 // gate applies the hardware-aware enforcement rule to every scaling

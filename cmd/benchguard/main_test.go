@@ -71,6 +71,86 @@ func TestGateMissingMetrics(t *testing.T) {
 	}
 }
 
+func backendRow(name string, nsPerOp float64) benchmark {
+	return benchmark{Name: name, NsPerOp: nsPerOp}
+}
+
+// TestBackendGate pins the consensus-overhead rule: poa and pbft are
+// gated against instant at the ceiling, both together, and a snapshot
+// missing any of the three rows (the pre-rule world) is an error
+// rather than a silent pass.
+func TestBackendGate(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   []benchmark
+		failed int
+	}{
+		{"healthy ladder passes", []benchmark{
+			backendRow(backendBaseline, 1_000_000),
+			backendRow(backendPoA, 1_400_000),
+			backendRow(backendPBFT, 1_300_000),
+		}, 0},
+		{"poa regression fails", []benchmark{
+			backendRow(backendBaseline, 1_000_000),
+			backendRow(backendPoA, 9_000_000), // the pre-cache shape
+			backendRow(backendPBFT, 1_300_000),
+		}, 1},
+		{"both backends regressed", []benchmark{
+			backendRow(backendBaseline, 1_000_000),
+			backendRow(backendPoA, 9_000_000),
+			backendRow(backendPBFT, 9_100_000),
+		}, 2},
+		{"exactly at the ceiling passes", []benchmark{
+			backendRow(backendBaseline, 1_000_000),
+			backendRow(backendPoA, 2_500_000),
+			backendRow(backendPBFT, 2_500_000),
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			failed, lines, err := backendGate(snapshot{Benchmarks: tc.rows}, 2.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failed != tc.failed {
+				t.Fatalf("failed = %d, want %d (%v)", failed, tc.failed, lines)
+			}
+			if len(lines) != 2 {
+				t.Fatalf("want one verdict line per gated backend, got %v", lines)
+			}
+		})
+	}
+}
+
+// TestBackendGateMissingRows proves incomplete snapshots are errors:
+// no instant baseline, no poa row, and a zero-valued baseline must all
+// refuse to gate rather than pass vacuously.
+func TestBackendGateMissingRows(t *testing.T) {
+	cases := map[string][]benchmark{
+		"empty snapshot": nil,
+		"no baseline": {
+			backendRow(backendPoA, 1_000_000),
+			backendRow(backendPBFT, 1_000_000),
+		},
+		"no poa row": {
+			backendRow(backendBaseline, 1_000_000),
+			backendRow(backendPBFT, 1_000_000),
+		},
+		"zero baseline": {
+			backendRow(backendBaseline, 0),
+			backendRow(backendPoA, 1_000_000),
+			backendRow(backendPBFT, 1_000_000),
+		},
+	}
+	for name, rows := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := backendGate(snapshot{Benchmarks: rows}, 2.5); err == nil {
+				t.Fatal("incomplete snapshot gated without error")
+			}
+		})
+	}
+}
+
 // TestNewestSnapshot proves the default-file rule: the
 // lexicographically greatest BENCH_*.json wins (the names embed ISO
 // dates), and an empty directory is an error, not a silent pass.

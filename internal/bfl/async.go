@@ -2,7 +2,6 @@ package bfl
 
 import (
 	"context"
-	"crypto/sha256"
 	"fmt"
 	"math"
 	"sort"
@@ -446,7 +445,7 @@ func (a *asyncEngine) fire(p *asyncPeer, closeOut bool) error {
 	// except at close-out: past the horizon nothing commits.
 	if !closeOut {
 		label := mergeLabel(kept)
-		var rh chain.Hash = sha256.Sum256(nn.EncodeWeights(merged))
+		var rh chain.Hash = nn.HashWeights(merged)
 		payload := contract.RecordCallData(uint64(p.round), label, rh, uint64(len(kept)))
 		tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, a.cfg.Chain.Gas, 1_000_000, 1)
 		if err != nil {

@@ -405,6 +405,11 @@ type engine struct {
 	// per round. Slot-addressed: the decide pool touches only its own
 	// peer's entry.
 	txIdx []txIndex
+
+	// blobScratch is the submission loop's reusable weight-encoding
+	// buffer (coordinator goroutine only): one allocation the first
+	// round, zero after.
+	blobScratch []byte
 }
 
 // txIndex is one peer view's committed-transaction hash index.
@@ -711,7 +716,8 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 	// pending set and commit the round's submission block.
 	blobBytes := make([]int, nPart)
 	for i, p := range peers {
-		blob := nn.EncodeWeights(updates[i].Weights)
+		blob := nn.AppendWeights(e.blobScratch[:0], updates[i].Weights)
+		e.blobScratch = blob[:0]
 		blobBytes[i] = len(blob)
 		payload := contract.SubmitCallData(uint64(round), uint64(cfg.Model), uint64(updates[i].NumSamples), blob)
 		tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 10_000_000, 1)
@@ -807,7 +813,7 @@ func (e *engine) runRound(ctx context.Context, res *Result, round int, subTs, de
 			res.ComboAccuracy[slots[i]] = append(res.ComboAccuracy[slots[i]], row)
 		}
 
-		var rh chain.Hash = sha256.Sum256(nn.EncodeWeights(decision.Chosen.Weights))
+		var rh chain.Hash = nn.HashWeights(decision.Chosen.Weights)
 		payload := contract.RecordCallData(uint64(round), chosenLabel, rh, uint64(len(decision.Chosen.Combo)))
 		tx, err := chain.NewTx(p.key, p.nonce, contract.AggregationAddress, 0, payload, cfg.Chain.Gas, 1_000_000, 1)
 		if err != nil {

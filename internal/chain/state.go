@@ -18,6 +18,16 @@ type Account struct {
 // key-value storage. It is a plain value store — copying it snapshots
 // the world, which the chain uses for fork handling and per-transaction
 // revert semantics.
+//
+// Storage values are interned: once a []byte is stored it is treated as
+// immutable, and Copy aliases it instead of duplicating the bytes. That
+// is what keeps per-transaction revert snapshots and per-peer StateCopy
+// views O(keys) instead of O(bytes) — N peer replicas of a committed
+// model record share one buffer. The aliasing contract has two rules:
+// callers of Set hand over the slice and never mutate it afterwards,
+// and callers of Get treat the result as read-only (decode, don't
+// scribble). Every writer in the tree stores freshly encoded buffers,
+// and every reader decodes.
 type State struct {
 	Accounts map[keys.Address]*Account
 	Storage  map[keys.Address]map[string][]byte
@@ -31,7 +41,11 @@ func NewState() *State {
 	}
 }
 
-// Copy deep-copies the state.
+// Copy snapshots the state: accounts are duplicated (they mutate in
+// place), storage maps are duplicated, and storage values are aliased —
+// immutable per the interning contract above, so sharing the buffer is
+// observably identical to copying it and skips the dominant allocation
+// of the ledger hot path.
 func (s *State) Copy() *State {
 	out := NewState()
 	for a, acc := range s.Accounts {
@@ -41,9 +55,7 @@ func (s *State) Copy() *State {
 	for c, kv := range s.Storage {
 		m := make(map[string][]byte, len(kv))
 		for k, v := range kv {
-			vc := make([]byte, len(v))
-			copy(vc, v)
-			m[k] = vc
+			m[k] = v
 		}
 		out.Storage[c] = m
 	}

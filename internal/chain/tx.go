@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"waitornot/internal/keys"
 )
@@ -57,6 +60,48 @@ type Transaction struct {
 	Payload []byte
 	// Sig is the ECDSA signature over SigningBytes.
 	Sig keys.Signature
+
+	// memo caches the transaction's signing digest and hash (a *txMemo,
+	// accessed atomically). Transactions are immutable once signed, so
+	// replicated execution across N peer views re-derives identical
+	// digests N times without it; with it, each transaction is encoded
+	// and hashed once per process. The memo records the *Transaction it
+	// was computed for, so a struct copy (which drags the field along)
+	// misses and recomputes — tampering with a copied transaction can
+	// never reuse the original's digest. Mutating a transaction through
+	// the same pointer after its first Hash/VerifySignature call is the
+	// one unsupported pattern; nothing in the tree does it.
+	memo unsafe.Pointer
+}
+
+// txMemo is the per-transaction crypto memo: the signing digest (what
+// the sender signed) and the transaction hash (digest input + signature,
+// the id everything is keyed by).
+type txMemo struct {
+	owner  *Transaction
+	digest [32]byte
+	hash   Hash
+}
+
+// memoized returns the transaction's crypto memo, computing and caching
+// it on first use. The signing encoding is materialized once and hashed
+// twice (with and without the signature) instead of re-encoded on every
+// Hash/Verify call. Safe for concurrent use: the computation is pure, so
+// racing writers store identical values.
+func (tx *Transaction) memoized() *txMemo {
+	if m := (*txMemo)(atomic.LoadPointer(&tx.memo)); m != nil && m.owner == tx {
+		return m
+	}
+	var buf bytes.Buffer
+	buf.Grow(tx.signingSize())
+	tx.writeSigning(&buf)
+	m := &txMemo{owner: tx, digest: sha256.Sum256(buf.Bytes())}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	h.Write(tx.Sig[:])
+	h.Sum(m.hash[:0])
+	atomic.StorePointer(&tx.memo, unsafe.Pointer(m))
+	return m
 }
 
 // SigningBytes returns the deterministic encoding of everything except
@@ -87,7 +132,9 @@ func (tx *Transaction) signingSize() int {
 	return 2*keys.AddressLen + len(tx.PubKey) + len(tx.Payload) + 6*8
 }
 
-// signingDigest streams the signing encoding through SHA-256.
+// signingDigest streams the signing encoding through SHA-256 without
+// touching the memo — Sign calls it mid-mutation (From/PubKey set, Sig
+// not yet), when memoizing would cache a half-built transaction.
 func (tx *Transaction) signingDigest() [32]byte {
 	h := sha256.New()
 	tx.writeSigning(h)
@@ -97,13 +144,11 @@ func (tx *Transaction) signingDigest() [32]byte {
 }
 
 // Hash returns the transaction id: the SHA-256 of the signed encoding.
+// The value is memoized on first use (transactions are immutable after
+// signing), so mempool ordering, Merkle roots, receipts, and per-peer
+// replicated execution all share one hashing pass.
 func (tx *Transaction) Hash() Hash {
-	h := sha256.New()
-	tx.writeSigning(h)
-	h.Write(tx.Sig[:])
-	var out Hash
-	h.Sum(out[:0])
-	return out
+	return tx.memoized().hash
 }
 
 // Sign populates From, PubKey, and Sig from the key.
@@ -126,14 +171,49 @@ var (
 	ErrGasTooLow = errors.New("chain: tx gas limit below intrinsic gas")
 )
 
-// VerifySignature checks the sender binding and ECDSA signature.
+// verifiedTxs is the process-wide verify-once cache: the set of
+// transaction hashes whose sender binding and ECDSA signature have
+// already been checked. Verification is a pure function of the
+// transaction bytes, and the hash commits to every field including the
+// signature, so a hit is exactly as strong as re-verifying — N peer
+// replicas of a gossiped transaction pay for its cryptography once per
+// process instead of once per mempool. A tampered transaction hashes
+// differently (the memo is owner-checked, so even struct copies
+// recompute), misses, and fails the full check on every replica.
+//
+// The cache is bounded: at verifiedTxsMax entries it is reset wholesale
+// — correctness never depends on a hit, only speed.
+var verifiedTxs = struct {
+	sync.RWMutex
+	m map[Hash]struct{}
+}{m: make(map[Hash]struct{})}
+
+const verifiedTxsMax = 1 << 17
+
+// VerifySignature checks the sender binding and ECDSA signature,
+// consulting the process-wide verify-once cache first. Only successful
+// verifications are cached; failures re-run the full check (they are
+// cold paths by construction).
 func (tx *Transaction) VerifySignature() error {
+	h := tx.memoized().hash
+	verifiedTxs.RLock()
+	_, hit := verifiedTxs.m[h]
+	verifiedTxs.RUnlock()
+	if hit {
+		return nil
+	}
 	if keys.PubToAddress(tx.PubKey) != tx.From {
 		return ErrBadFrom
 	}
-	if err := keys.VerifyDigest(tx.PubKey, tx.signingDigest(), tx.Sig); err != nil {
+	if err := keys.VerifyDigest(tx.PubKey, tx.memoized().digest, tx.Sig); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSig, err)
 	}
+	verifiedTxs.Lock()
+	if len(verifiedTxs.m) >= verifiedTxsMax {
+		verifiedTxs.m = make(map[Hash]struct{})
+	}
+	verifiedTxs.m[h] = struct{}{}
+	verifiedTxs.Unlock()
 	return nil
 }
 

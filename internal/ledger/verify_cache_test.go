@@ -1,0 +1,51 @@
+package ledger_test
+
+import (
+	"testing"
+
+	"waitornot/internal/ledger"
+)
+
+// TestTamperedTxRejectedOnEveryReplica proves the process-wide
+// verify-once signature cache cannot be laundered through gossip:
+// after an honest transaction has been verified — and its verdict
+// cached — on every replica of every backend, a copy with a tampered
+// payload (same signature, same sender) must still be rejected by
+// Submit and must never reach any peer's pending set.
+func TestTamperedTxRejectedOnEveryReplica(t *testing.T) {
+	for _, name := range []string{"pow", "poa", "instant", "pbft"} {
+		t.Run(name, func(t *testing.T) {
+			const peers = 4
+			cfg, ks := testCfg(peers)
+			be, err := ledger.New(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			honest := registerTx(t, cfg, ks[0], 0, "peer-A", 1)
+			// Warm the cache on every replica: gossip validates the
+			// signature once per peer's pending set.
+			if err := be.Submit(honest); err != nil {
+				t.Fatal(err)
+			}
+			forged := *honest
+			forged.Payload = append([]byte(nil), honest.Payload...)
+			forged.Payload[len(forged.Payload)-1] ^= 0x01
+			if err := be.Submit(&forged); err == nil {
+				t.Fatal("tampered copy of a cached-verified tx gossiped")
+			}
+			for p := 0; p < peers; p++ {
+				if n := be.Pending(p); n != 1 {
+					t.Fatalf("peer %d holds %d pending txs, want only the honest one", p, n)
+				}
+			}
+			// The honest tx still commits cleanly everywhere.
+			c, err := be.Commit(0, 1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Txs != 1 {
+				t.Fatalf("committed %d txs, want 1", c.Txs)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -30,7 +31,18 @@ var ErrCorruptWeights = errors.New("nn: corrupt weight blob")
 
 // EncodeWeights serializes a flat weight vector to the wire format.
 func EncodeWeights(w []float32) []byte {
-	out := make([]byte, weightHeader+4*len(w)+4)
+	return AppendWeights(make([]byte, 0, EncodedSize(len(w))), w)
+}
+
+// AppendWeights appends the wire encoding of w to dst and returns the
+// extended slice — the zero-alloc path for hot loops that reuse a
+// scratch buffer (append into buf[:0] each round; the encoding only
+// allocates when dst lacks capacity).
+func AppendWeights(dst []byte, w []float32) []byte {
+	start := len(dst)
+	need := EncodedSize(len(w))
+	dst = append(dst, make([]byte, need)...)
+	out := dst[start:]
 	copy(out, weightMagic)
 	binary.LittleEndian.PutUint16(out[4:], weightVersion)
 	binary.LittleEndian.PutUint32(out[6:], uint32(len(w)))
@@ -39,6 +51,34 @@ func EncodeWeights(w []float32) []byte {
 	}
 	sum := crc32.ChecksumIEEE(out[:weightHeader+4*len(w)])
 	binary.LittleEndian.PutUint32(out[weightHeader+4*len(w):], sum)
+	return dst
+}
+
+// HashWeights returns the SHA-256 of the wire encoding of w — the
+// digest the aggregation contract records — without materializing the
+// blob. Equivalent to sha256.Sum256(EncodeWeights(w)).
+func HashWeights(w []float32) [32]byte {
+	h := sha256.New()
+	var hdr [weightHeader]byte
+	copy(hdr[:], weightMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], weightVersion)
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(w)))
+	h.Write(hdr[:])
+	crc := crc32.ChecksumIEEE(hdr[:])
+	var chunk [4096]byte
+	for off := 0; off < len(w); {
+		n := 0
+		for ; n < len(chunk) && off < len(w); n, off = n+4, off+1 {
+			binary.LittleEndian.PutUint32(chunk[n:], math.Float32bits(w[off]))
+		}
+		h.Write(chunk[:n])
+		crc = crc32.Update(crc, crc32.IEEETable, chunk[:n])
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	h.Write(tail[:])
+	var out [32]byte
+	h.Sum(out[:0])
 	return out
 }
 

@@ -13,7 +13,10 @@ import (
 
 	"waitornot"
 	"waitornot/internal/bfl"
+	"waitornot/internal/chain"
 	"waitornot/internal/core"
+	"waitornot/internal/keys"
+	"waitornot/internal/ledger"
 	"waitornot/internal/nn"
 )
 
@@ -237,6 +240,75 @@ func TestRaceSmokePBFT(t *testing.T) {
 	if len(res.Tradeoff.Outcomes) != 8 {
 		t.Fatalf("outcomes = %d, want 8", len(res.Tradeoff.Outcomes))
 	}
+}
+
+// TestRaceSmokeVerifyCache hammers the process-wide verify-once
+// signature cache and the lazy per-transaction digest memo from every
+// direction at once: six goroutines run independent poa and pbft
+// ledgers over the SAME signed transactions, so the race detector sees
+// concurrent first-use memoization on shared *chain.Transaction
+// values, concurrent cache reads and inserts, and the parsed-pubkey
+// cache racing across backends — while every commit re-verifies the
+// batch on each backend's four replicas.
+func TestRaceSmokeVerifyCache(t *testing.T) {
+	const peers, rounds, replicas = 4, 3, 3
+	ccfg := chain.DefaultConfig()
+	ccfg.GenesisDifficulty = 4
+	ccfg.MinDifficulty = 1
+	ks := make([]*keys.Key, peers)
+	alloc := make(map[keys.Address]uint64, peers)
+	sealers := make([]keys.Address, peers)
+	for i := range ks {
+		ks[i] = keys.GenerateDeterministic(uint64(7100 + i))
+		alloc[ks[i].Address()] = 1 << 62
+		sealers[i] = ks[i].Address()
+	}
+	to := keys.GenerateDeterministic(7199).Address()
+	txs := make([][]*chain.Transaction, rounds)
+	for r := range txs {
+		txs[r] = make([]*chain.Transaction, peers)
+		for i, k := range ks {
+			tx, err := chain.NewTx(k, uint64(r), to, 1, []byte{byte(r), byte(i)}, ccfg.Gas, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs[r][i] = tx
+		}
+	}
+	var wg sync.WaitGroup
+	for _, name := range []string{"poa", "pbft"} {
+		for rep := 0; rep < replicas; rep++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				be, err := ledger.New(name, ledger.Config{
+					Peers: peers, Chain: ccfg, Alloc: alloc, Sealers: sealers,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for r := 0; r < rounds; r++ {
+					for _, tx := range txs[r] {
+						if err := be.Submit(tx); err != nil {
+							t.Errorf("%s: submit round %d: %v", name, r, err)
+							return
+						}
+					}
+					c, err := be.Commit(r%peers, uint64(r+1)*1000)
+					if err != nil {
+						t.Errorf("%s: commit round %d: %v", name, r, err)
+						return
+					}
+					if c.Txs != peers {
+						t.Errorf("%s: round %d committed %d of %d txs", name, r, c.Txs, peers)
+						return
+					}
+				}
+			}(name)
+		}
+	}
+	wg.Wait()
 }
 
 // TestRaceSmokeAsync runs the asynchronous engine alongside itself:
